@@ -1,0 +1,31 @@
+"""A1: ablations of the design choices DESIGN.md calls out."""
+
+from repro.bench.experiments import run_ablations
+
+
+def test_a1_ablations(benchmark, record):
+    table = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    record("a1_ablations", table)
+    rows = {(row[0], row[1]): dict(zip(table.columns[2:], row[2:]))
+            for row in table.rows}
+
+    # §1: partial-result notification prunes real work
+    explored_on = rows[("partial-result notification", "on")]["value"]
+    explored_off = rows[("partial-result notification", "off")]["value"]
+    assert explored_on < explored_off
+
+    # §6.3: without ABORT-on-unwind, objects get no cleanup notification
+    assert rows[("ABORT on unwind", "on")]["value"] > 0
+    assert rows[("ABORT on unwind", "off")]["value"] == 0
+
+    # §4.1: current-context handlers are cheaper than unscheduled
+    # invocations back to the attaching object (thread far from home)
+    current = rows[("handler context",
+                    "current (per-thread memory)")]["value"]
+    attaching = rows[("handler context", "attaching object")]["value"]
+    assert current < attaching
+
+    # DSM false sharing: packing contended fields onto one page costs
+    # invalidations that split layouts avoid
+    assert rows[("DSM layout", "2 field(s)/page")]["value"] > \
+        rows[("DSM layout", "1 field(s)/page")]["value"]

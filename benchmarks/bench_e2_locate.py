@@ -1,0 +1,45 @@
+"""E2: cost of locating a migrating thread under the three §7.1 strategies."""
+
+from repro.bench.experiments import run_e2
+
+
+def _rows(table):
+    return [dict(zip(table.columns, row)) for row in table.rows]
+
+
+def test_e2_locate_strategies(benchmark, record):
+    table = benchmark.pedantic(
+        run_e2, kwargs={"cluster_sizes": (2, 4, 8, 16, 32),
+                        "depths": (1, 4), "posts": 10},
+        rounds=1, iterations=1)
+    record("e2_locate", table)
+    rows = _rows(table)
+
+    def msgs(locator, nodes, depth):
+        for row in rows:
+            if (row["locator"], row["nodes"],
+                    row["migration depth"]) == (locator, nodes, depth):
+                return row["msgs/post"]
+        raise AssertionError(f"missing row {locator}/{nodes}/{depth}")
+
+    # Broadcast grows with cluster size at fixed depth — "communication
+    # intensive and wasteful".
+    assert msgs("broadcast", 32, 1) > msgs("broadcast", 8, 1) > \
+        msgs("broadcast", 2, 1)
+    # Path-following is independent of cluster size, linear in depth.
+    assert msgs("path", 8, 1) == msgs("path", 32, 1)
+    assert msgs("path", 32, 4) > msgs("path", 32, 1)
+    # Path never exceeds n hops (the paper's bound).
+    for row in rows:
+        if row["locator"] == "path":
+            assert row["msgs/post"] <= row["nodes"]
+    # Multicast is bounded by group membership, not cluster size, and
+    # beats broadcast in large clusters.
+    assert msgs("multicast", 32, 1) == msgs("multicast", 8, 1)
+    assert msgs("multicast", 32, 1) < msgs("broadcast", 32, 1)
+    # Latency: path pays per-hop, broadcast/multicast one round trip.
+    for row in rows:
+        if row["locator"] == "path" and row["migration depth"] == 4:
+            assert row["latency/post (ms)"] > 3.0
+        if row["locator"] == "broadcast":
+            assert row["latency/post (ms)"] < 2.0

@@ -1,0 +1,32 @@
+"""E3: master handler thread vs thread-per-event for object events (§7)."""
+
+from repro.bench.experiments import run_e3
+
+
+def test_e3_master_vs_per_event(benchmark, record):
+    table = benchmark.pedantic(
+        run_e3, kwargs={"event_counts": (10, 50, 200)},
+        rounds=1, iterations=1)
+    record("e3_master_thread", table)
+    rows = [dict(zip(table.columns, row)) for row in table.rows]
+
+    def row(mode, events):
+        for candidate in rows:
+            if (candidate["mode"], candidate["events"]) == (mode, events):
+                return candidate
+        raise AssertionError(f"missing row {mode}/{events}")
+
+    for events in (10, 50, 200):
+        master = row("master", events)
+        per_event = row("per-event", events)
+        # the master thread is created once; per-event mode pays per event
+        assert master["threads created"] == 1
+        assert per_event["threads created"] == events
+        # ... which the virtual clock reflects
+        assert master["virtual time (ms)"] < per_event["virtual time (ms)"]
+    # per-event creation overhead grows linearly with event count; the
+    # master's is constant — "eliminating thread-creation costs"
+    assert row("master", 200)["creation overhead (ms)"] == \
+        row("master", 10)["creation overhead (ms)"]
+    assert row("per-event", 200)["creation overhead (ms)"] == \
+        20 * row("per-event", 10)["creation overhead (ms)"]

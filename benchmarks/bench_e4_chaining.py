@@ -1,0 +1,22 @@
+"""E4: TERMINATE-chained distributed lock cleanup (§4.2)."""
+
+from repro.bench.experiments import run_e4
+
+
+def test_e4_lock_cleanup_chaining(benchmark, record):
+    table = benchmark.pedantic(
+        run_e4, kwargs={"lock_counts": (1, 2, 4, 8, 16)},
+        rounds=1, iterations=1)
+    record("e4_chaining", table)
+    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    for row in rows:
+        # every lock released, no matter how many were chained
+        assert row["released %"] == 100.0
+        # chain depth tracks the number of acquires
+        assert row["chain depth"] == row["locks held"]
+    # cleanup cost is linear in chain depth (each handler is one
+    # surrogate invocation of the lock manager)
+    msgs = {row["locks held"]: row["cleanup msgs"] for row in rows}
+    assert msgs[16] > msgs[8] > msgs[1]
+    per_lock = (msgs[16] - msgs[8]) / 8
+    assert 1 <= per_lock <= 4

@@ -1,0 +1,26 @@
+"""E5: the distributed ^C problem (§6.3) at increasing scale."""
+
+from repro.bench.experiments import run_e5
+
+
+def test_e5_distributed_ctrl_c(benchmark, record):
+    table = benchmark.pedantic(
+        run_e5, kwargs={"worker_counts": (2, 4, 8, 16), "n_nodes": 8},
+        rounds=1, iterations=1)
+    record("e5_ctrl_c", table)
+    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    for row in rows:
+        # the whole point: nothing survives, nothing leaks, nothing is
+        # orphaned
+        assert row["survivors"] == 0
+        assert row["orphans"] == 0
+        assert row["locks leaked"] == 0
+        assert row["objects ABORT-notified"] >= 1
+        # group = workers + root
+        assert row["group size"] == row["workers"] + 1
+    # message cost scales with the number of threads to hunt down
+    msgs = {row["workers"]: row["messages"] for row in rows}
+    assert msgs[16] > msgs[4] > msgs[2]
+    # but the time to quiescence stays flat: members terminate in parallel
+    times = [row["time to quiescence (ms)"] for row in rows]
+    assert max(times) < 2 * min(times)

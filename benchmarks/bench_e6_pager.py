@@ -1,0 +1,26 @@
+"""E6: user-level VM manager — external pager throughput (§6.4)."""
+
+from repro.bench.experiments import run_e6
+
+
+def test_e6_external_pager(benchmark, record):
+    table = benchmark.pedantic(
+        run_e6, kwargs={"faulter_counts": (1, 2, 4, 8), "n_nodes": 8},
+        rounds=1, iterations=1)
+    record("e6_pager", table)
+    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    for row in rows:
+        # every fault was served by the user-level pager
+        assert row["faults served"] == row["vm faults"]
+        assert row["vm faults"] > 0
+    shared = {row["faulters"]: row for row in rows
+              if row["mode"] == "shared"}
+    private = {row["faulters"]: row for row in rows
+               if row["mode"] == "private-copy"}
+    # private-copy mode faults once per (page, node): more pager work ...
+    assert private[8]["faults served"] >= shared[8]["faults served"]
+    # ... then reconciles by merging
+    assert private[8]["merged pages"] >= 1
+    assert all(row["merged pages"] == 0 for row in shared.values())
+    # fault volume grows with concurrency
+    assert shared[8]["vm faults"] >= shared[1]["vm faults"]

@@ -1,0 +1,31 @@
+"""E8: correct-recipient delivery — UNIX signals vs Mach vs this design."""
+
+from repro.bench.experiments import run_e8
+
+
+def test_e8_facility_comparison(benchmark, record):
+    table = benchmark.pedantic(run_e8, kwargs={"seeds": range(20)},
+                               rounds=1, iterations=1)
+    record("e8_baselines", table)
+    rows = {row[0]: dict(zip(table.columns[1:], row[1:]))
+            for row in table.rows}
+
+    def pct(cell):
+        return int(cell.rstrip("%"))
+
+    overall = rows["OVERALL"]
+    # the paper's design handles every scenario; the baselines do not
+    assert pct(overall["doct"]) == 100
+    assert pct(overall["unix"]) < 40
+    assert pct(overall["mach"]) < 60
+    # specific claims from §9
+    assert pct(rows["passive-object"]["unix"]) == 0
+    assert pct(rows["passive-object"]["mach"]) == 0
+    assert pct(rows["remote-thread"]["unix"]) == 0
+    assert pct(rows["remote-thread"]["mach"]) == 0
+    assert pct(rows["per-application-customization"]["unix"]) == 0
+    assert pct(rows["per-application-customization"]["mach"]) == 0
+    # Mach thread-ports DO handle in-task thread targeting
+    assert pct(rows["specific-thread-in-shared-space"]["mach"]) == 100
+    # UNIX hits the right thread only by luck (~1/8 here)
+    assert 0 < pct(rows["specific-thread-in-shared-space"]["unix"]) < 50

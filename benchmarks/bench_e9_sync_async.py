@@ -1,0 +1,21 @@
+"""E9: raiser blocking semantics — raise vs raise_and_wait (§3, §5.3)."""
+
+from repro.bench.experiments import run_e9
+
+
+def test_e9_sync_vs_async(benchmark, record):
+    table = benchmark.pedantic(
+        run_e9, kwargs={"service_times": (0.0, 1e-3, 1e-2, 1e-1)},
+        rounds=1, iterations=1)
+    record("e9_sync_async", table)
+    rows = [dict(zip(table.columns, row)) for row in table.rows]
+    for row in rows:
+        # asynchronous raising never blocks the raiser
+        assert row["async window (ms)"] == 0.0
+        # synchronous raising blocks at least for locate+deliver+resume
+        assert row["sync window (ms)"] > 1.0
+    # the sync window tracks the handler's service time one-for-one
+    windows = {row["handler service time (ms)"]: row["sync window (ms)"]
+               for row in rows}
+    assert windows[100.0] - windows[0.0] == \
+        __import__("pytest").approx(100.0, rel=0.05)

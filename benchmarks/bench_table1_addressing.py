@@ -1,0 +1,25 @@
+"""T1: reproduce the paper's §5.3 table of raise-call addressing options."""
+
+from repro.bench.experiments import run_table1
+
+
+def test_table1_addressing(benchmark, record):
+    table = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    record("table1_addressing", table)
+    measured = dict(zip(table.column("call"),
+                        table.column("recipients (measured)")))
+    # every call form delivered to exactly the recipients the paper lists
+    assert measured["raise(e, tid)"] == "tid-target"
+    assert measured["raise(e, gtid)"] == "g0,g1,g2"
+    assert measured["raise(e, oid)"] == "object"
+    assert measured["raise_and_wait(e, tid)"] == "tid-target"
+    assert measured["raise_and_wait(e, gtid)"] == "g0,g1,g2"
+    assert measured["raise_and_wait(e, oid)"] == "object"
+    blocked = dict(zip(table.column("call"), table.column("raiser blocked")))
+    assert all(blocked[c] == "no" for c in blocked if "wait" not in c)
+    assert all(blocked[c] == "yes" for c in blocked if "wait" in c)
+    # synchronous raising costs the raiser real (virtual) time; async not
+    latency = dict(zip(table.column("call"),
+                       table.column("raiser latency (ms)")))
+    assert latency["raise(e, tid)"] == 0.0
+    assert latency["raise_and_wait(e, tid)"] > 1.0

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark runs one experiment from :mod:`repro.bench.experiments`,
+asserts the *shape* the paper claims (who wins, how costs scale), and
+records the rendered result table under ``benchmarks/results/`` so
+EXPERIMENTS.md can quote real output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def record():
+    """Persist an experiment's table and echo it to stdout."""
+
+    def _record(name: str, table) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = table.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
+                                                 encoding="utf-8")
+        print()
+        print(text)
+
+    return _record

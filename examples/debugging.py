@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""A distributed debugger session (buddy handlers, §4.1).
+
+Two worker threads attach a central DebuggerServer as the buddy handler
+for BREAKPOINT events, then hit breakpoints inside objects on different
+nodes. The "user" at the debugger lists stopped threads, inspects their
+frozen frame stacks, single-continues one and kills the other.
+
+Run:  python examples/debugging.py
+"""
+
+from repro import Cluster, ClusterConfig, DistObject, entry
+from repro.apps import DebuggerServer, attach_debugger, breakpoint_here
+
+
+class Worker(DistObject):
+    @entry
+    def job(self, ctx, debugger_cap, helper_cap, label):
+        yield attach_debugger(debugger_cap)
+        yield ctx.compute(0.01)
+        yield breakpoint_here(ctx, f"{label}:before-helper")
+        result = yield ctx.invoke(helper_cap, "help", label)
+        return result
+
+    @entry
+    def help(self, ctx, label):
+        yield breakpoint_here(ctx, f"{label}:inside-helper")
+        yield ctx.compute(0.01)
+        return f"{label}-helped"
+
+
+def command(cluster, debugger, entry_name, *args):
+    probe = cluster.spawn(debugger, entry_name, *args, at=0)
+    cluster.run(until=cluster.now + 1.0)
+    return probe.completion.result()
+
+
+def main() -> None:
+    cluster = Cluster(ClusterConfig(n_nodes=4))
+    cluster.register_event("BREAKPOINT")
+    debugger = cluster.create_object(DebuggerServer, node=3)
+    worker = cluster.create_object(Worker, node=1)
+    helper = cluster.create_object(Worker, node=2)
+
+    t_a = cluster.spawn(worker, "job", debugger, helper, "A", at=0)
+    t_b = cluster.spawn(worker, "job", debugger, helper, "B", at=0)
+    cluster.run(until=1.0)
+
+    print("stopped threads:", command(cluster, debugger, "list_stopped"))
+    for tid in (t_a.tid, t_b.tid):
+        info = command(cluster, debugger, "inspect", tid)
+        print(f"  {tid}: tag={info['tag']!r} node={info['node']} "
+              f"frames={info['frames']}")
+
+    print("\ncontinue A twice (through both breakpoints):")
+    command(cluster, debugger, "resume_thread", t_a.tid)
+    cluster.run(until=cluster.now + 1.0)
+    info = command(cluster, debugger, "inspect", t_a.tid)
+    print(f"  A now stopped at {info['tag']!r} on node {info['node']} "
+          f"(depth {len(info['frames'])})")
+    command(cluster, debugger, "resume_thread", t_a.tid)
+    cluster.run(until=cluster.now + 1.0)
+    print(f"  A finished: {t_a.completion.result()!r}")
+
+    print("\nkill B at its first breakpoint:")
+    command(cluster, debugger, "kill_thread", t_b.tid)
+    cluster.run()
+    print(f"  B state: {t_b.state}")
+    print(f"\nbreakpoint history: "
+          f"{[record.tag for record in cluster.get_object(debugger).history]}")
+
+
+if __name__ == "__main__":
+    main()

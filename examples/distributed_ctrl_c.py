@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The distributed ^C problem (§6.3 of the paper).
+
+A root thread fans out workers by asynchronous invocation; workers take
+distributed locks and block. Objects hosting the application register
+ABORT cleanup handlers. The user "types ^C" — a TERMINATE event raised at
+the root thread — and the §6.3 protocol terminates every group member,
+releases every lock through TERMINATE-chained cleanup (§4.2), and
+notifies every object along the invocation paths.
+
+Run:  python examples/distributed_ctrl_c.py
+"""
+
+from repro import Cluster, ClusterConfig, DistObject, entry, on_event
+from repro.apps import install_ctrl_c, press_ctrl_c, termination_report
+from repro.locks import LockManager
+
+
+class Application(DistObject):
+    """Both the root object and the worker object of a distributed app."""
+
+    def __init__(self):
+        super().__init__()
+        self.cleanups = 0
+
+    @on_event("ABORT")
+    def on_abort(self, ctx, block):
+        """Application cleanup when an invocation through us is aborted."""
+        yield ctx.compute(1e-5)
+        self.cleanups += 1
+
+    @entry
+    def main(self, ctx, worker_cap, mgr_cap, n_workers):
+        # Install the §6.3 root handlers BEFORE spawning, so every worker
+        # inherits them through its thread attributes.
+        yield from install_ctrl_c(ctx)
+        for i in range(n_workers):
+            yield ctx.invoke_async(worker_cap, "work", mgr_cap,
+                                   f"resource-{i}", claimable=False)
+        yield ctx.io_write("root: workers launched, waiting forever")
+        yield ctx.sleep(1e9)
+
+    @entry
+    def work(self, ctx, mgr_cap, resource):
+        yield ctx.invoke(mgr_cap, "acquire", resource)
+        yield ctx.io_write(f"worker: locked {resource}, grinding away")
+        yield ctx.sleep(1e9)
+
+
+def main() -> None:
+    cluster = Cluster(ClusterConfig(n_nodes=6))
+    manager = cluster.create_object(LockManager, node=5)
+    root_obj = cluster.create_object(Application, node=0)
+    worker_obj = cluster.create_object(Application, node=2)
+
+    group = cluster.new_group()
+    root = cluster.spawn(root_obj, "main", worker_obj, manager, 4,
+                         at=0, group=group)
+    cluster.run(until=2.0)
+
+    members = cluster.groups.members(group)
+    mgr = cluster.get_object(manager)
+    held = [n for n, lock in mgr._locks.items() if lock.holder is not None]
+    print(f"running: {len(members)} threads in group {group}, "
+          f"locks held: {sorted(held)}")
+
+    print("\n*** user types ^C ***\n")
+    press_ctrl_c(cluster, root.tid)
+    cluster.run()
+
+    report = termination_report(cluster, group,
+                                caps=[root_obj, worker_obj])
+    held_after = [n for n, lock in mgr._locks.items()
+                  if lock.holder is not None]
+    print(f"surviving group members : {report['surviving_members']}")
+    print(f"orphaned threads        : {report['orphans']}")
+    print(f"locks still held        : {held_after}")
+    print(f"lock cleanup releases   : {mgr.cleanup_releases}")
+    print(f"objects that cleaned up : "
+          f"root={cluster.get_object(root_obj).cleanups}, "
+          f"worker={cluster.get_object(worker_obj).cleanups}")
+    assert not report["surviving_members"] and not report["orphans"]
+    assert not held_after
+    print("\nall threads hunted down, all locks released — clean ^C.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Distributed liveliness monitoring (§6.2 of the paper).
+
+A monitored thread wanders across three nodes doing work. A monitor probe
+— a recurring TIMER in the thread's attributes plus a per-thread-memory
+handler — samples the thread's "program counter" wherever it happens to
+be and ships each sample to a central MonitorServer on its own
+fire-and-forget thread.
+
+Run:  python examples/monitoring.py
+"""
+
+from repro import Cluster, ClusterConfig, DistObject, entry
+from repro.monitor import MonitorServer, install_monitor
+
+
+class Pipeline(DistObject):
+    """A three-stage computation that hops between nodes."""
+
+    @entry
+    def stage_one(self, ctx, next_cap, monitor_cap):
+        yield from install_monitor(ctx, monitor_cap, period=0.05)
+        yield ctx.compute(0.2)
+        result = yield ctx.invoke(next_cap, "stage_two")
+        yield ctx.compute(0.2)
+        return f"pipeline done ({result})"
+
+    @entry
+    def stage_two(self, ctx):
+        yield ctx.compute(0.3)
+        return "stage-two-output"
+
+
+def main() -> None:
+    cluster = Cluster(ClusterConfig(n_nodes=3))
+    server_cap = cluster.create_object(MonitorServer, node=2)
+    stage1 = cluster.create_object(Pipeline, node=0)
+    stage2 = cluster.create_object(Pipeline, node=1)
+
+    thread = cluster.spawn(stage1, "stage_one", stage2, server_cap, at=0)
+    cluster.run()
+    print(thread.completion.result())
+
+    server = cluster.get_object(server_cap)
+    samples = server.samples[str(thread.tid)]
+    print(f"\n{len(samples)} samples collected for {thread.tid}:")
+    print(f"{'t (ms)':>8} {'node':>4} {'entry':<12} {'steps':>5}")
+    for sample in samples:
+        print(f"{sample.time * 1e3:8.1f} {sample.node:>4} "
+              f"{sample.entry:<12} {sample.steps:>5}")
+
+    nodes_seen = {s.node for s in samples}
+    entries_seen = {s.entry for s in samples}
+    print(f"\nthe probe followed the thread across nodes {sorted(nodes_seen)}"
+          f" and entries {sorted(entries_seen)} — timer registration was"
+          f" recreated on every node the thread visited (§6.2).")
+
+
+if __name__ == "__main__":
+    main()

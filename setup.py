@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so the
+PEP 517 editable path (which shells out to ``bdist_wheel``) cannot run.
+``python setup.py develop`` / ``pip install -e .`` fall back to this shim.
+"""
+from setuptools import setup
+
+setup()

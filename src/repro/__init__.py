@@ -1,0 +1,69 @@
+"""repro: asynchronous event handling in distributed object-based systems.
+
+A full reproduction of Menon, Dasgupta & LeBlanc (ICDCS 1993): a simulated
+Clouds-style DO/CT environment — passive persistent objects, logical
+threads spanning nodes, RPC and DSM invocation transports — carrying the
+paper's contribution, a general-purpose asynchronous event facility with
+thread-based handler chains, object-based handlers and pluggable thread
+location.
+
+Quickstart::
+
+    from repro import Cluster, ClusterConfig, DistObject, entry
+
+    class Hello(DistObject):
+        @entry
+        def greet(self, ctx, who):
+            yield ctx.compute(1e-4)
+            return f"hello {who}"
+
+    cluster = Cluster(ClusterConfig(n_nodes=2))
+    cap = cluster.create_object(Hello, node=1)
+    thread = cluster.spawn(cap, "greet", "world")
+    cluster.run()
+    print(thread.completion.result())
+"""
+
+from repro.errors import ReproError
+from repro.events import Decision, EventBlock, HandlerContext, names as events
+from repro.kernel import (
+    ClusterConfig,
+    LOCATE_BROADCAST,
+    LOCATE_MULTICAST,
+    LOCATE_PATH,
+    OBJ_EVENTS_MASTER,
+    OBJ_EVENTS_PER_EVENT,
+    TRANSPORT_DSM,
+    TRANSPORT_RPC,
+)
+from repro.kernel.boot import Cluster
+from repro.objects import Capability, DistObject, entry, handler_entry, on_event
+from repro.threads import GroupId, IoChannel, ThreadId
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Capability",
+    "Cluster",
+    "ClusterConfig",
+    "Decision",
+    "DistObject",
+    "EventBlock",
+    "GroupId",
+    "HandlerContext",
+    "IoChannel",
+    "LOCATE_BROADCAST",
+    "LOCATE_MULTICAST",
+    "LOCATE_PATH",
+    "OBJ_EVENTS_MASTER",
+    "OBJ_EVENTS_PER_EVENT",
+    "ReproError",
+    "TRANSPORT_DSM",
+    "TRANSPORT_RPC",
+    "ThreadId",
+    "entry",
+    "events",
+    "handler_entry",
+    "on_event",
+    "__version__",
+]

@@ -1,0 +1,45 @@
+"""Applications from §6 of the paper, built on the event facility."""
+
+from repro.apps.debugger import (
+    BREAKPOINT_EVENT,
+    DebuggerServer,
+    attach_debugger,
+    breakpoint_here,
+)
+from repro.apps.exceptions import invoke_guarded, repairing, terminating
+from repro.apps.search import (
+    BOUND_EVENT,
+    SearchCoordinator,
+    SearchRunResult,
+    SearchWorker,
+    generate_candidates,
+    run_search,
+)
+from repro.apps.pager_app import PagedRegion, PagerRunResult, run_pager_workload
+from repro.apps.termination import (
+    install_ctrl_c,
+    press_ctrl_c,
+    termination_report,
+)
+
+__all__ = [
+    "BOUND_EVENT",
+    "BREAKPOINT_EVENT",
+    "DebuggerServer",
+    "PagedRegion",
+    "PagerRunResult",
+    "SearchCoordinator",
+    "SearchRunResult",
+    "SearchWorker",
+    "attach_debugger",
+    "breakpoint_here",
+    "generate_candidates",
+    "install_ctrl_c",
+    "invoke_guarded",
+    "press_ctrl_c",
+    "repairing",
+    "run_pager_workload",
+    "run_search",
+    "terminating",
+    "termination_report",
+]

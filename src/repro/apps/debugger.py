@@ -1,0 +1,151 @@
+"""A distributed debugger built on buddy handlers (§4.1).
+
+"An extension to this scheme is one where the handler is an entry point
+defined in another object. These kinds of handlers are known as 'buddy
+handlers' … quite useful in implementing monitors, debuggers, etc. where
+an application can specify a central server as the event handler for
+events posted to its threads."
+
+The :class:`DebuggerServer` is that central server. A debugged thread
+attaches the server's ``on_breakpoint`` handler in buddy context for the
+``BREAKPOINT`` user event; hitting a breakpoint raises the event at the
+thread itself. Delivery suspends the thread and runs the handler *at the
+debugger* (an unscheduled invocation), which parks until someone calls
+``resume_thread`` — the suspended thread stays frozen the whole time,
+and its snapshot (current object, entry, "program counter", node) is
+available for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.events.handlers import Decision, HandlerContext
+from repro.objects.base import DistObject, entry, handler_entry
+from repro.sim.primitives import SimFuture
+from repro.threads.syscalls import AttachHandler
+
+#: the user event a breakpoint raises
+BREAKPOINT_EVENT = "BREAKPOINT"
+
+
+@dataclass
+class StoppedThread:
+    """A thread currently parked at a breakpoint."""
+
+    tid: Any
+    tag: str
+    snapshot: Any
+    stopped_at: float
+    gate: SimFuture
+
+
+def attach_debugger(server_cap) -> AttachHandler:
+    """Syscall attaching a debugger server as this thread's buddy.
+
+    Usage inside an entry point::
+
+        yield attach_debugger(debugger.cap)
+    """
+    return AttachHandler(event=BREAKPOINT_EVENT,
+                         context=HandlerContext.BUDDY,
+                         fn_name="on_breakpoint", target=server_cap)
+
+
+def breakpoint_here(ctx, tag: str = ""):
+    """Syscall raising a breakpoint at the current thread.
+
+    The event is queued for this thread and delivered at the next yield —
+    i.e. immediately after this statement::
+
+        yield breakpoint_here(ctx, "before-commit")
+    """
+    return ctx.raise_event(BREAKPOINT_EVENT, ctx.tid, user_data=tag)
+
+
+class DebuggerServer(DistObject):
+    """Central debugger: holds stopped threads until resumed."""
+
+    def __init__(self):
+        super().__init__()
+        #: tid-string -> StoppedThread, currently parked
+        self.stopped: dict[str, StoppedThread] = {}
+        #: all breakpoint hits, for post-mortem inspection
+        self.history: list[StoppedThread] = []
+        #: breakpoint tags to skip without stopping
+        self.disabled_tags: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # the buddy handler
+    # ------------------------------------------------------------------
+
+    @handler_entry
+    def on_breakpoint(self, ctx, block):
+        tag = block.user_data or ""
+        record = StoppedThread(tid=ctx.tid, tag=tag,
+                               snapshot=block.snapshot,
+                               stopped_at=ctx.now,
+                               gate=SimFuture(ctx._thread.cluster.sim))
+        self.history.append(record)
+        if tag in self.disabled_tags:
+            yield ctx.compute(0)
+            return Decision.RESUME
+        self.stopped[str(ctx.tid)] = record
+        command = yield ctx.wait(record.gate)
+        self.stopped.pop(str(ctx.tid), None)
+        if command == "kill":
+            return Decision.TERMINATE
+        return Decision.RESUME
+
+    # ------------------------------------------------------------------
+    # debugger UI entries
+    # ------------------------------------------------------------------
+
+    @entry
+    def list_stopped(self, ctx):
+        """tids currently frozen at breakpoints."""
+        yield ctx.compute(0)
+        return sorted(self.stopped)
+
+    @entry
+    def inspect(self, ctx, tid):
+        """Frame stack of a stopped thread (the §4.1 'examine' ability)."""
+        yield ctx.compute(0)
+        record = self.stopped.get(str(tid))
+        if record is None or record.snapshot is None:
+            return None
+        return {
+            "tag": record.tag,
+            "node": record.snapshot.node,
+            "frames": [(f.oid, f.entry, f.steps)
+                       for f in record.snapshot.frames],
+            "stopped_at": record.stopped_at,
+        }
+
+    @entry
+    def resume_thread(self, ctx, tid):
+        """Let a stopped thread continue."""
+        yield ctx.compute(0)
+        record = self.stopped.get(str(tid))
+        if record is None:
+            return False
+        record.gate.resolve("continue")
+        return True
+
+    @entry
+    def kill_thread(self, ctx, tid):
+        """Terminate a stopped thread instead of resuming it."""
+        yield ctx.compute(0)
+        record = self.stopped.get(str(tid))
+        if record is None:
+            return False
+        record.gate.resolve("kill")
+        return True
+
+    @entry
+    def disable_tag(self, ctx, tag):
+        """Stop breaking on a tag (like deleting a breakpoint)."""
+        yield ctx.compute(0)
+        self.disabled_tags.add(tag)
+        return True

@@ -1,0 +1,84 @@
+"""Scoped exception handling built on events (§5.2, §6.1).
+
+The paper sketches "simple exception handling" as a restricted use of the
+general mechanism:
+
+* the invoker attaches handlers for the exceptional events an entry may
+  raise, at the point of invocation;
+* the handler's scope is "restricted to its immediate caller" — it is
+  detached when the invocation returns.
+
+``invoke_guarded`` packages that discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.events.handlers import Decision
+
+
+def invoke_guarded(ctx, cap, entry_name: str, *args: Any,
+                   handlers: dict[str, Callable] | None = None):
+    """Generator helper: invoke with invocation-scoped event handlers.
+
+    ``handlers`` maps event names to per-thread procedures
+    ``(hctx, block) -> decision``. Each is attached before the invocation
+    and detached after it (whether it returns or raises), giving the
+    §5.2 caller-scoped semantics::
+
+        result = yield from invoke_guarded(
+            ctx, worker, "divide", 10, 0,
+            handlers={"DIV_ZERO": lambda hctx, block: repair(hctx, block)})
+    """
+    handlers = handlers or {}
+    attached: list[tuple[str, int]] = []
+    for event, procedure in handlers.items():
+        reg_id = yield ctx.attach_handler(event, procedure)
+        attached.append((event, reg_id))
+    try:
+        result = yield ctx.invoke(cap, entry_name, *args)
+    finally:
+        for event, reg_id in reversed(attached):
+            yield ctx.detach_handler(event, reg_id)
+    return result
+
+
+def invoke_declared(ctx, cap, entry_name: str, *args: Any,
+                    handler_factory: Callable[[str], Callable] | None = None):
+    """Invoke with handlers derived from the entry's *declared* events.
+
+    §5.2's linguistic restraint, fully automated: the entry point's
+    signature declares the exceptional events it may raise
+    (``@entry(raises=("DIV_ZERO",))``); the invoker attaches one handler
+    per declared event for the duration of the call. ``handler_factory``
+    maps an event name to a handler procedure (default: terminate the
+    thread, the conservative choice).
+    """
+    target = ctx._thread.cluster.find_object(cap.oid)
+    declared = target.entry_raises(entry_name) if target is not None else ()
+    factory = handler_factory or (lambda event: terminating())
+    handlers = {event: factory(event) for event in declared}
+    result = yield from invoke_guarded(ctx, cap, entry_name, *args,
+                                       handlers=handlers)
+    return result
+
+
+def repairing(value: Any) -> Callable:
+    """A handler procedure that repairs any fault with ``value``."""
+
+    def repair(hctx, block):
+        yield hctx.compute(0)
+        return (Decision.RESUME, value)
+
+    return repair
+
+
+def terminating() -> Callable:
+    """A handler procedure that terminates the faulting thread."""
+
+    def kill(hctx, block):
+        yield hctx.compute(0)
+        return Decision.TERMINATE
+
+    return kill

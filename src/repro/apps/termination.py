@@ -1,0 +1,89 @@
+"""The "distributed ^C problem" (§6.3).
+
+Terminating a distributed application cleanly requires notifying:
+
+* all threads in the application's thread group (including threads
+  spawned by asynchronous invocations), and
+* all objects between the root object and wherever the threads currently
+  are (so each can clean up — close channels, release resources).
+
+The protocol, exactly as the paper lays it out:
+
+1. every object gets an ABORT handler (the kernel posts ABORT to each
+   object a terminating thread unwinds out of — see
+   ``ClusterConfig.notify_abort_on_unwind`` — and objects may override
+   the default with ``@on_event("ABORT")``);
+2. the root object attaches a TERMINATE handler and a QUIT handler to
+   the root thread (``install_ctrl_c``); spawned threads inherit both;
+3. a ^C raises TERMINATE at the root thread; its handler raises QUIT to
+   the whole thread group and lets its own TERMINATE chain proceed
+   (running chained cleanup, then the kernel default that unwinds with
+   ABORT notifications);
+4. each member's QUIT handler re-raises TERMINATE *at that thread*, so
+   every member also runs its full TERMINATE chain before dying.
+"""
+
+from __future__ import annotations
+
+from repro.events import names as event_names
+from repro.events.handlers import Decision
+
+
+def install_ctrl_c(ctx):
+    """Generator helper: attach the §6.3 root handlers to this thread.
+
+    Call from the root object's entry point, before spawning workers,
+    so every spawned thread inherits the registrations::
+
+        yield from install_ctrl_c(ctx)
+    """
+
+    def root_terminate_handler(hctx, block):
+        gid = hctx.gid
+        if gid is not None:
+            yield hctx.raise_event(event_names.QUIT, gid)
+        # Propagate: chained cleanup handlers run, then the kernel
+        # default terminates this thread (unwinding aborts the top-level
+        # invocation, "causing all objects to be notified").
+        return Decision.PROPAGATE
+
+    def quit_handler(hctx, block):
+        # Re-raise TERMINATE at this member so its own TERMINATE chain
+        # (lock cleanup etc.) runs before it dies.
+        yield hctx.raise_event(event_names.TERMINATE, hctx.tid)
+        return Decision.RESUME
+
+    yield ctx.attach_handler(event_names.TERMINATE, root_terminate_handler)
+    yield ctx.attach_handler(event_names.QUIT, quit_handler)
+
+
+def press_ctrl_c(cluster, root_tid, from_node: int = 0):
+    """The user types ^C at the controlling terminal: raise TERMINATE at
+    the root thread. Returns the raise future."""
+    return cluster.raise_event(event_names.TERMINATE, root_tid,
+                               from_node=from_node)
+
+
+def termination_report(cluster, gid, caps=()) -> dict:
+    """Audit the aftermath of a ^C: orphans, notified objects, lock state.
+
+    Returns a dict with:
+
+    * ``surviving_members`` — tids still alive in the group (should be
+      empty);
+    * ``orphans`` — live user threads whose group is gone (should be
+      empty: "lest they turn into orphans");
+    * ``aborted_oids`` — objects that observed an ABORT event, for the
+      capabilities passed in ``caps``.
+    """
+    surviving = [str(tid) for tid in cluster.groups.members_or_empty(gid)
+                 if tid in cluster.live_threads]
+    orphans = [str(tid) for tid, thread in cluster.live_threads.items()
+               if thread.kind == "user" and thread.attributes.group == gid]
+    aborted = []
+    for cap in caps:
+        obj = cluster.find_object(cap.oid if hasattr(cap, "oid") else cap)
+        if obj is not None and getattr(obj, "aborted_tids", None):
+            aborted.append(obj.oid)
+    return {"surviving_members": surviving, "orphans": orphans,
+            "aborted_oids": aborted}

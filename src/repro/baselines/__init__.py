@@ -1,0 +1,41 @@
+"""Baseline facilities the paper compares against (§9)."""
+
+from repro.baselines.mach_exceptions import (
+    DEBUG_CLASS,
+    ERROR_CLASS,
+    MachExceptionModel,
+    MachTask,
+    MachThread,
+)
+from repro.baselines.scenarios import (
+    SCENARIOS,
+    ScenarioResult,
+    run_all,
+    run_doct,
+    run_mach,
+    run_unix,
+    score,
+)
+from repro.baselines.unix_signals import (
+    UnixProcess,
+    UnixSignalModel,
+    UnixThread,
+)
+
+__all__ = [
+    "DEBUG_CLASS",
+    "ERROR_CLASS",
+    "MachExceptionModel",
+    "MachTask",
+    "MachThread",
+    "SCENARIOS",
+    "ScenarioResult",
+    "UnixProcess",
+    "UnixSignalModel",
+    "UnixThread",
+    "run_all",
+    "run_doct",
+    "run_mach",
+    "run_unix",
+    "score",
+]

@@ -1,0 +1,112 @@
+"""Mach exception-handling baseline (§9, [Black 89]).
+
+Mach posts exceptions to **tasks** and **threads** through exception
+ports, with a *static* partition of exception types between error
+handlers (run in the context of the erring task) and debuggers (run
+outside it). The paper's criticisms, which this model reproduces:
+
+* the partition is static — an exception type is either error-handler
+  class or debugger class, fixed by the kernel (PLATINUM made it dynamic);
+* tasks are **active** objects: every thread belongs to exactly one task,
+  so per-application customisation inside a *shared* passive object is
+  inexpressible — the task's ports apply to all threads equally;
+* ports are machine-local kernel objects: no location-transparent
+  delivery to a thread currently executing elsewhere.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Static kernel partition of exception types ([Black 89] table).
+ERROR_CLASS = frozenset({"EXC_ARITHMETIC", "EXC_SOFTWARE", "EXC_EMULATION"})
+DEBUG_CLASS = frozenset({"EXC_BREAKPOINT", "EXC_BAD_ACCESS"})
+
+_task_ids = itertools.count(1)
+
+
+@dataclass
+class MachThread:
+    name: str
+    received: list[str] = field(default_factory=list)
+    exception_port: Callable | None = None
+
+
+class MachTask:
+    """An active object: threads belong to it, ports hang off it."""
+
+    def __init__(self, machine: int) -> None:
+        self.task_id = next(_task_ids)
+        self.machine = machine
+        self.threads: list[MachThread] = []
+        self.error_port: Callable | None = None
+        self.debug_port: Callable | None = None
+
+    def spawn_thread(self, name: str) -> MachThread:
+        thread = MachThread(name=name)
+        self.threads.append(thread)
+        return thread
+
+
+@dataclass
+class MachOutcome:
+    delivered: bool
+    handled_by: str = ""
+    reason: str = ""
+
+
+class MachExceptionModel:
+    """Kernel-side exception routing."""
+
+    def __init__(self) -> None:
+        self.tasks: dict[int, MachTask] = {}
+
+    def register(self, task: MachTask) -> MachTask:
+        self.tasks[task.task_id] = task
+        return task
+
+    def raise_exception(self, task_id: int, thread: MachThread | None,
+                        exc_type: str,
+                        from_machine: int | None = None) -> MachOutcome:
+        task = self.tasks.get(task_id)
+        if task is None:
+            return MachOutcome(False, reason="no such task")
+        if from_machine is not None and from_machine != task.machine:
+            return MachOutcome(
+                False, reason="exception ports are machine-local")
+        if not task.threads:
+            return MachOutcome(
+                False, reason="a task with no threads raises nothing "
+                              "(tasks are active objects)")
+        # Thread-level port first, then the statically-partitioned task
+        # ports — the paper's point: the partition is fixed by type, not
+        # choosable by the application.
+        if thread is not None and thread.exception_port is not None:
+            thread.received.append(exc_type)
+            thread.exception_port(thread, exc_type)
+            return MachOutcome(True, handled_by="thread-port")
+        if exc_type in ERROR_CLASS:
+            port, label = task.error_port, "task-error-port"
+        elif exc_type in DEBUG_CLASS:
+            port, label = task.debug_port, "task-debug-port"
+        else:
+            return MachOutcome(False, reason=f"unknown type {exc_type!r}")
+        if port is None:
+            return MachOutcome(
+                False,
+                reason=f"no {label} installed (partition is static; the "
+                       f"application cannot reroute the class)")
+        if thread is not None:
+            thread.received.append(exc_type)
+        port(thread, exc_type)
+        return MachOutcome(True, handled_by=label)
+
+    def per_application_customization(self, task: MachTask) -> MachOutcome:
+        """Two unrelated applications sharing one task cannot install
+        different handlers: ports are per-task."""
+        return MachOutcome(
+            False,
+            reason="ports are per-task; threads of unrelated applications "
+                   "inside one task share the same handlers")

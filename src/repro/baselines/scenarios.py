@@ -1,0 +1,247 @@
+"""The §9 comparison scenario matrix (experiment E8).
+
+Five delivery scenarios the DO/CT environment requires; each facility —
+UNIX signals, Mach exception ports, and this paper's design — is driven
+through all of them and scored on whether the *intended* recipient runs
+the handler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro import Cluster, ClusterConfig, Decision, DistObject, entry
+from repro.baselines.mach_exceptions import MachExceptionModel, MachTask
+from repro.baselines.unix_signals import UnixProcess, UnixSignalModel
+
+SCENARIOS = (
+    "specific-thread-in-shared-space",
+    "passive-object",
+    "remote-thread",
+    "per-application-customization",
+    "group-delivery",
+)
+
+
+@dataclass
+class ScenarioResult:
+    facility: str
+    scenario: str
+    correct: bool
+    detail: str
+
+
+# ---------------------------------------------------------------------------
+# UNIX signals
+# ---------------------------------------------------------------------------
+
+def run_unix(seed: int = 0) -> list[ScenarioResult]:
+    results = []
+    model = UnixSignalModel(seed=seed)
+
+    # 1. specific thread among many in one address space
+    proc = model.register(UnixProcess(machine=0))
+    intended = proc.spawn_thread("worker-a", app="app1")
+    for i in range(7):
+        proc.spawn_thread(f"other-{i}", app="app2")
+    proc.sigaction("SIGUSR1", lambda t, s: None)
+    outcome = model.kill(proc.pid, "SIGUSR1")
+    results.append(ScenarioResult(
+        "unix", SCENARIOS[0],
+        correct=outcome.delivered and outcome.thread is intended,
+        detail=outcome.reason))
+
+    # 2. passive object (no runnable thread)
+    passive = model.register(UnixProcess(machine=0))
+    passive.sigaction("SIGUSR1", lambda t, s: None)
+    outcome = model.kill(passive.pid, "SIGUSR1")
+    results.append(ScenarioResult("unix", SCENARIOS[1],
+                                  correct=outcome.delivered,
+                                  detail=outcome.reason))
+
+    # 3. remote thread (signal from another machine)
+    remote = model.register(UnixProcess(machine=1))
+    remote.spawn_thread("far")
+    remote.sigaction("SIGUSR1", lambda t, s: None)
+    outcome = model.kill(remote.pid, "SIGUSR1", from_machine=0)
+    results.append(ScenarioResult("unix", SCENARIOS[2],
+                                  correct=outcome.delivered,
+                                  detail=outcome.reason))
+
+    # 4. per-application customization inside one space: one handler
+    # table — the second app's sigaction clobbers the first's.
+    shared = model.register(UnixProcess(machine=0))
+    shared.spawn_thread("app1-thread", app="app1")
+    shared.spawn_thread("app2-thread", app="app2")
+    ran = []
+    shared.sigaction("SIGUSR2", lambda t, s: ran.append("app1-handler"))
+    shared.sigaction("SIGUSR2", lambda t, s: ran.append("app2-handler"))
+    model.kill(shared.pid, "SIGUSR2")
+    results.append(ScenarioResult(
+        "unix", SCENARIOS[3], correct="app1-handler" in ran,
+        detail="second sigaction replaced the first"))
+
+    # 5. group delivery: process groups exist, but member selection is
+    # still per-process arbitrary-thread; count intended thread hits.
+    group = [model.register(UnixProcess(machine=0)) for _ in range(3)]
+    hits = 0
+    for proc in group:
+        intended = proc.spawn_thread("worker", app="app1")
+        proc.spawn_thread("bystander", app="app2")
+        proc.sigaction("SIGTERM", lambda t, s: None)
+        outcome = model.kill(proc.pid, "SIGTERM")
+        if outcome.delivered and outcome.thread is intended:
+            hits += 1
+    results.append(ScenarioResult(
+        "unix", SCENARIOS[4], correct=hits == len(group),
+        detail=f"{hits}/{len(group)} intended threads hit"))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Mach exception ports
+# ---------------------------------------------------------------------------
+
+def run_mach() -> list[ScenarioResult]:
+    results = []
+    model = MachExceptionModel()
+
+    # 1. specific thread: thread exception ports DO exist in Mach.
+    task = model.register(MachTask(machine=0))
+    intended = task.spawn_thread("worker-a")
+    task.spawn_thread("other")
+    intended.exception_port = lambda t, e: None
+    outcome = model.raise_exception(task.task_id, intended,
+                                    "EXC_ARITHMETIC")
+    results.append(ScenarioResult("mach", SCENARIOS[0],
+                                  correct=outcome.delivered,
+                                  detail=outcome.handled_by))
+
+    # 2. passive object: a task with no threads.
+    passive = model.register(MachTask(machine=0))
+    passive.error_port = lambda t, e: None
+    outcome = model.raise_exception(passive.task_id, None,
+                                    "EXC_ARITHMETIC")
+    results.append(ScenarioResult("mach", SCENARIOS[1],
+                                  correct=outcome.delivered,
+                                  detail=outcome.reason))
+
+    # 3. remote thread.
+    remote = model.register(MachTask(machine=1))
+    thread = remote.spawn_thread("far")
+    remote.error_port = lambda t, e: None
+    outcome = model.raise_exception(remote.task_id, thread,
+                                    "EXC_ARITHMETIC", from_machine=0)
+    results.append(ScenarioResult("mach", SCENARIOS[2],
+                                  correct=outcome.delivered,
+                                  detail=outcome.reason))
+
+    # 4. per-application customization inside one shared task.
+    shared = model.register(MachTask(machine=0))
+    shared.spawn_thread("app1-thread")
+    shared.spawn_thread("app2-thread")
+    outcome = model.per_application_customization(shared)
+    results.append(ScenarioResult("mach", SCENARIOS[3],
+                                  correct=outcome.delivered,
+                                  detail=outcome.reason))
+
+    # 5. group delivery: Mach has no exception multicast to task groups.
+    results.append(ScenarioResult(
+        "mach", SCENARIOS[4], correct=False,
+        detail="no group-addressed exception primitive"))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# the paper's facility (this library)
+# ---------------------------------------------------------------------------
+
+class _SharedObject(DistObject):
+    @entry
+    def work(self, ctx, label, hits):
+        def handler(hctx, block):
+            hits.append(label)
+            yield hctx.compute(0)
+            return Decision.RESUME
+
+        yield ctx.attach_handler("POKE", handler)
+        yield ctx.sleep(10.0)
+        return label
+
+
+class _PassiveTarget(DistObject):
+    def __init__(self):
+        super().__init__()
+        self.hits = []
+
+    from repro.objects.base import on_event as _on_event
+
+    @_on_event("POKE")
+    def on_poke(self, ctx, block):
+        self.hits.append("object-handler")
+        yield ctx.compute(0)
+        return "poked"
+
+
+def run_doct(seed: int = 0) -> list[ScenarioResult]:
+    results = []
+    cluster = Cluster(ClusterConfig(n_nodes=3, seed=seed))
+    cluster.register_event("POKE")
+    shared = cluster.create_object(_SharedObject, node=1)
+    hits: list[str] = []
+
+    # 1 & 4: two unrelated applications' threads in one shared object,
+    # each with its own thread-based handler.
+    t_app1 = cluster.spawn(shared, "work", "app1", hits, at=0)
+    t_app2 = cluster.spawn(shared, "work", "app2", hits, at=2)
+    cluster.run(until=0.1)
+    cluster.raise_event("POKE", t_app1.tid, from_node=1)
+    cluster.run(until=0.5)
+    results.append(ScenarioResult(
+        "doct", SCENARIOS[0], correct=hits == ["app1"],
+        detail=f"handlers run: {hits}"))
+    results.append(ScenarioResult(
+        "doct", SCENARIOS[3], correct="app2" not in hits,
+        detail="unrelated thread in the same object unaffected"))
+
+    # 2: passive object with no thread inside.
+    passive = cluster.create_object(_PassiveTarget, node=2)
+    future = cluster.raise_and_wait("POKE", passive, from_node=0)
+    cluster.run(until=1.0)
+    results.insert(1, ScenarioResult(
+        "doct", SCENARIOS[1],
+        correct=future.done and cluster.get_object(passive).hits ==
+        ["object-handler"],
+        detail="master handler thread ran the object handler"))
+
+    # 3: remote thread (raise from node 0, thread executing on node 1).
+    hits2: list[str] = []
+    t_far = cluster.spawn(shared, "work", "far", hits2, at=2)
+    cluster.run(until=1.5)
+    cluster.raise_event("POKE", t_far.tid, from_node=0)
+    cluster.run(until=2.5)
+    results.insert(2, ScenarioResult(
+        "doct", SCENARIOS[2], correct=hits2 == ["far"],
+        detail="located and delivered across nodes"))
+
+    # 5: group delivery.
+    hits3: list[str] = []
+    gid = cluster.new_group()
+    members = [cluster.spawn(shared, "work", f"m{i}", hits3, at=i,
+                             group=gid) for i in range(3)]
+    cluster.run(until=3.0)
+    cluster.raise_event("POKE", gid, from_node=0)
+    cluster.run(until=4.0)
+    results.append(ScenarioResult(
+        "doct", SCENARIOS[4], correct=sorted(hits3) == ["m0", "m1", "m2"],
+        detail=f"members hit: {sorted(hits3)}"))
+    results.sort(key=lambda r: SCENARIOS.index(r.scenario))
+    return results
+
+
+def run_all(seed: int = 0) -> dict[str, list[ScenarioResult]]:
+    return {"unix": run_unix(seed), "mach": run_mach(),
+            "doct": run_doct(seed)}
+
+
+def score(results: list[ScenarioResult]) -> float:
+    return sum(1 for r in results if r.correct) / len(results)

@@ -1,0 +1,6 @@
+"""Benchmark harness: workloads, experiment definitions, result tables."""
+
+from repro.bench.experiments import ALL_EXPERIMENTS, run_everything
+from repro.bench.harness import Table, ratio, sweep
+
+__all__ = ["ALL_EXPERIMENTS", "Table", "ratio", "run_everything", "sweep"]

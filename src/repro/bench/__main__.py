@@ -1,0 +1,27 @@
+"""Run the full experiment suite: ``python -m repro.bench``.
+
+Prints every table from :mod:`repro.bench.experiments`; pass experiment
+names (``table1 e2 e5 …``) to run a subset.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}; "
+              f"available: {', '.join(ALL_EXPERIMENTS)}")
+        return 2
+    for name in names:
+        ALL_EXPERIMENTS[name]().show()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

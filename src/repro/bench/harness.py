@@ -1,0 +1,76 @@
+"""Benchmark harness utilities: result tables and parameter sweeps.
+
+Each experiment in :mod:`repro.bench.experiments` returns a
+:class:`Table`; the ``benchmarks/`` pytest-benchmark files print it and
+time the underlying runs. EXPERIMENTS.md records the printed rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.errors import BenchmarkError
+
+
+@dataclass
+class Table:
+    """A printable result table for one experiment."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise BenchmarkError(
+                f"{self.title}: row has {len(values)} values for "
+                f"{len(self.columns)} columns")
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> list[Any]:
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise BenchmarkError(
+                f"{self.title}: no column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.6g}"
+            return str(value)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [max(len(self.columns[i]),
+                      *(len(row[i]) for row in cells)) if cells
+                  else len(self.columns[i])
+                  for i in range(len(self.columns))]
+        lines = [f"== {self.title} =="]
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in cells:
+            lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def sweep(values: Iterable[Any], fn: Callable[[Any], Any]) -> list[Any]:
+    """Run ``fn`` once per value; returns results in order."""
+    return [fn(value) for value in values]
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe ratio for table cells."""
+    return a / b if b else float("inf")

@@ -1,0 +1,250 @@
+"""Workload builders shared by the experiment suite.
+
+Each builder assembles a cluster plus application objects/threads for one
+experiment shape, so the experiment functions in
+:mod:`repro.bench.experiments` stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro import Cluster, ClusterConfig, Decision, DistObject, entry, on_event
+from repro.apps.termination import install_ctrl_c
+from repro.locks import LockManager
+
+
+def build_cluster(**overrides: Any) -> Cluster:
+    overrides.setdefault("trace_net", False)
+    return Cluster(ClusterConfig(**overrides))
+
+
+# ---------------------------------------------------------------------------
+# migration workloads (E2)
+# ---------------------------------------------------------------------------
+
+class HopStation(DistObject):
+    """A relay that carries a thread deeper into the cluster, then holds."""
+
+    @entry
+    def hop_and_hold(self, ctx, caps, hold):
+        if caps:
+            result = yield ctx.invoke(caps[0], "hop_and_hold", caps[1:],
+                                      hold)
+            return result
+        yield ctx.sleep(hold)
+        return "held"
+
+
+def deep_thread(cluster: Cluster, depth: int, hold: float = 1e6):
+    """Spawn a thread rooted at node 0 whose innermost frame sits
+    ``depth`` migrations away; returns the thread once it settles."""
+    n = cluster.config.n_nodes
+    caps = [cluster.create_object(HopStation, node=(i % max(1, n - 1)) + 1)
+            for i in range(depth)]
+    thread = cluster.spawn(caps[0], "hop_and_hold", caps[1:], hold, at=0)
+    cluster.run(until=cluster.now + max(1.0, depth * 0.01))
+    return thread
+
+
+class EventSink(DistObject):
+    """A thread body that absorbs user events cheaply."""
+
+    @entry
+    def absorb(self, ctx, event, hold):
+        def on_event_(hctx, block):
+            yield hctx.compute(1e-6)
+            return Decision.RESUME
+
+        yield ctx.attach_handler(event, on_event_)
+        yield ctx.sleep(hold)
+        return "done"
+
+
+# ---------------------------------------------------------------------------
+# object event storms (E3)
+# ---------------------------------------------------------------------------
+
+class StormTarget(DistObject):
+    """Passive object absorbing a storm of user events."""
+
+    def __init__(self):
+        super().__init__()
+        self.seen = 0
+
+    @on_event("STORM")
+    def on_storm(self, ctx, block):
+        yield ctx.compute(1e-6)
+        self.seen += 1
+        return self.seen
+
+
+def object_event_storm(mode: str, events: int, n_nodes: int = 2,
+                       thread_create_cost: float = 2e-4) -> Cluster:
+    """Raise ``events`` object events under the given execution mode."""
+    cluster = build_cluster(n_nodes=n_nodes, object_event_mode=mode,
+                            thread_create_cost=thread_create_cost)
+    cluster.register_event("STORM")
+    cap = cluster.create_object(StormTarget, node=1)
+    for _ in range(events):
+        cluster.raise_event("STORM", cap, from_node=0)
+    cluster.run()
+    assert cluster.get_object(cap).seen == events
+    return cluster
+
+
+# ---------------------------------------------------------------------------
+# lock chains (E4)
+# ---------------------------------------------------------------------------
+
+class LockGrabber(DistObject):
+    @entry
+    def grab_and_hang(self, ctx, mgr, names):
+        for name in names:
+            yield ctx.invoke(mgr, "acquire", name)
+        yield ctx.sleep(1e6)
+        return "never"
+
+
+@dataclass
+class LockChainRig:
+    cluster: Cluster
+    manager_cap: Any
+    thread: Any
+    lock_names: list[str]
+
+
+def lock_chain(locks: int, n_nodes: int = 4) -> LockChainRig:
+    cluster = build_cluster(n_nodes=n_nodes)
+    mgr = cluster.create_object(LockManager, node=n_nodes - 1)
+    grabber = cluster.create_object(LockGrabber, node=1)
+    names = [f"lock-{i}" for i in range(locks)]
+    thread = cluster.spawn(grabber, "grab_and_hang", mgr, names, at=0)
+    cluster.run(until=1.0)
+    return LockChainRig(cluster=cluster, manager_cap=mgr, thread=thread,
+                        lock_names=names)
+
+
+# ---------------------------------------------------------------------------
+# distributed ^C applications (E5)
+# ---------------------------------------------------------------------------
+
+class CtrlCWorkload(DistObject):
+    def __init__(self):
+        super().__init__()
+        self.aborted_tids = []
+
+    @on_event("ABORT")
+    def on_abort(self, ctx, block):
+        yield ctx.compute(1e-6)
+        data = block.user_data or {}
+        self.aborted_tids.append(str(data.get("tid")))
+
+    @entry
+    def main(self, ctx, worker_cap, mgr_cap, n_workers, use_locks):
+        yield from install_ctrl_c(ctx)
+        for i in range(n_workers):
+            lock = f"lock-{i}" if use_locks else None
+            yield ctx.invoke_async(worker_cap, "work", mgr_cap, lock,
+                                   claimable=False)
+        yield ctx.sleep(1e6)
+        return "never"
+
+    @entry
+    def work(self, ctx, mgr_cap, lock_name):
+        if lock_name is not None:
+            yield ctx.invoke(mgr_cap, "acquire", lock_name)
+        yield ctx.sleep(1e6)
+        return "never"
+
+
+@dataclass
+class CtrlCRig:
+    cluster: Cluster
+    root: Any
+    gid: Any
+    manager_cap: Any
+    root_obj: Any
+    worker_obj: Any
+
+
+def ctrl_c_app(workers: int, n_nodes: int = 8,
+               use_locks: bool = True) -> CtrlCRig:
+    cluster = build_cluster(n_nodes=n_nodes)
+    mgr = cluster.create_object(LockManager, node=n_nodes - 1)
+    root_obj = cluster.create_object(CtrlCWorkload, node=0)
+    worker_obj = cluster.create_object(CtrlCWorkload, node=1)
+    gid = cluster.new_group()
+    root = cluster.spawn(root_obj, "main", worker_obj, mgr, workers,
+                         use_locks, at=0, group=gid)
+    cluster.run(until=2.0)
+    return CtrlCRig(cluster=cluster, root=root, gid=gid, manager_cap=mgr,
+                    root_obj=root_obj, worker_obj=worker_obj)
+
+
+# ---------------------------------------------------------------------------
+# transport-transparency workload (E7)
+# ---------------------------------------------------------------------------
+
+class SharedCounter(DistObject):
+    """Transport-agnostic object: all state through ctx.read/ctx.write."""
+
+    dsm_fields = {"total": 0}
+
+    @entry
+    def seed(self, ctx):
+        yield ctx.write("total", 0)
+        return True
+
+    @entry
+    def bump(self, ctx, trace, label, rounds):
+        def on_mark(hctx, block):
+            trace.append((label, "MARK", block.user_data))
+            yield hctx.compute(1e-6)
+            return Decision.RESUME
+
+        yield ctx.attach_handler("MARK", on_mark)
+        for _ in range(rounds):
+            value = yield ctx.read("total")
+            yield ctx.write("total", value + 1)
+        yield ctx.sleep(0.5)
+        result = yield ctx.read("total")
+        trace.append((label, "DONE", result))
+        return result
+
+
+@dataclass
+class TransportRun:
+    transport: str
+    per_thread_traces: dict[str, list]
+    messages: dict[str, int]
+    virtual_time: float
+    final_total: int
+
+
+def transport_workload(transport: str, workers: int = 3,
+                       rounds: int = 5, n_nodes: int = 4) -> TransportRun:
+    cluster = build_cluster(n_nodes=n_nodes)
+    cluster.register_event("MARK")
+    cap = cluster.create_object(SharedCounter, node=1, transport=transport)
+    if transport == "rpc":
+        cluster.get_object(cap).total = 0
+    trace: list = []
+    threads = []
+    for i in range(workers):
+        threads.append(cluster.spawn(cap, "bump", trace, f"w{i}", rounds,
+                                     at=i % n_nodes))
+    cluster.run(until=0.3)
+    for i, thread in enumerate(threads):
+        cluster.raise_event("MARK", thread.tid, from_node=0,
+                            user_data=f"mark-{i}")
+    cluster.run()
+    per_thread: dict[str, list] = {}
+    for label, kind, data in trace:
+        per_thread.setdefault(label, []).append((kind, data))
+    finals = [t.completion.result() for t in threads]
+    return TransportRun(
+        transport=transport, per_thread_traces=per_thread,
+        messages=dict(cluster.fabric.stats.by_type),
+        virtual_time=cluster.now, final_total=max(finals))

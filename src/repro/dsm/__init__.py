@@ -1,0 +1,19 @@
+"""Page-based sequentially-consistent DSM with user-level pagers."""
+
+from repro.dsm.consistency import ConsistencyLog, Violation
+from repro.dsm.directory import DirectoryEntry
+from repro.dsm.page import MODE_NONE, MODE_READ, MODE_WRITE, Page, Segment
+from repro.dsm.pager import PagerServer, attach_pager
+
+__all__ = [
+    "ConsistencyLog",
+    "DirectoryEntry",
+    "MODE_NONE",
+    "MODE_READ",
+    "MODE_WRITE",
+    "Page",
+    "PagerServer",
+    "Segment",
+    "Violation",
+    "attach_pager",
+]

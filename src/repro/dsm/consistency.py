@@ -1,0 +1,87 @@
+"""Sequential-consistency audit log.
+
+Every committed DSM read and write is recorded with its virtual commit
+time. The checker then verifies the *sequential consistency* the
+underlying DSM promises (§1 of the paper presumes "the strict consistency
+imposed by the underlying sequentially consistent distributed shared
+memory"): every read of a field returns the value of the latest write to
+that field that committed before it.
+
+Pages weakened by a user-level pager's private copies (§6.4) are excluded
+— bypassing strict consistency is precisely their purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Access:
+    """One committed DSM access."""
+
+    seq: int
+    time: float
+    node: int
+    segment_id: int
+    field: str
+    op: str  # "read" | "write"
+    value: Any
+    weak: bool = False
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A read that did not return the latest committed write."""
+
+    read: Access
+    expected: Any
+    actual: Any
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostic only
+        return (f"seq {self.read.seq} t={self.read.time}: node "
+                f"{self.read.node} read {self.read.field}="
+                f"{self.actual!r}, latest write was {self.expected!r}")
+
+
+class ConsistencyLog:
+    """Accumulates accesses and checks them for sequential consistency."""
+
+    def __init__(self) -> None:
+        self.accesses: list[Access] = []
+        self._seq = 0
+
+    def record(self, time: float, node: int, segment_id: int, field: str,
+               op: str, value: Any, weak: bool = False) -> None:
+        self._seq += 1
+        self.accesses.append(Access(seq=self._seq, time=time, node=node,
+                                    segment_id=segment_id, field=field,
+                                    op=op, value=value, weak=weak))
+
+    def clear(self) -> None:
+        self.accesses.clear()
+
+    def check(self) -> list[Violation]:
+        """Return all violations among strongly-consistent accesses."""
+        violations: list[Violation] = []
+        last_write: dict[tuple[int, str], tuple[bool, Any]] = {}
+        for access in self.accesses:
+            if access.weak:
+                continue
+            key = (access.segment_id, access.field)
+            if access.op == "write":
+                last_write[key] = (True, access.value)
+            else:
+                seen, expected = last_write.get(key, (False, None))
+                if seen and access.value != expected:
+                    violations.append(Violation(read=access,
+                                                expected=expected,
+                                                actual=access.value))
+        return violations
+
+    def counts(self) -> dict[str, int]:
+        reads = sum(1 for a in self.accesses if a.op == "read")
+        writes = len(self.accesses) - reads
+        weak = sum(1 for a in self.accesses if a.weak)
+        return {"reads": reads, "writes": writes, "weak": weak}

@@ -1,0 +1,113 @@
+"""Per-page coherence directory.
+
+Each segment's home node runs a directory entry per page, implementing a
+classic MSI invalidation protocol that yields sequential consistency:
+at any instant a page is either unowned, read-shared by a set of nodes,
+or write-exclusive at one node. Requests against a page are serialised —
+one transaction at a time — through a FIFO queue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.errors import CoherenceError
+
+ST_IDLE = "idle"
+ST_SHARED = "shared"
+ST_EXCLUSIVE = "exclusive"
+
+
+class DirectoryEntry:
+    """Coherence bookkeeping for one page of one segment."""
+
+    def __init__(self, segment_id: int, page_id: int) -> None:
+        self.segment_id = segment_id
+        self.page_id = page_id
+        self.state = ST_IDLE
+        self.sharers: set[int] = set()
+        self.owner: int | None = None
+        self._busy = False
+        self._queue: deque[Callable[[], None]] = deque()
+        #: protocol statistics for the benchmarks
+        self.read_misses = 0
+        self.write_misses = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    # transaction serialisation
+    # ------------------------------------------------------------------
+
+    def submit(self, transaction: Callable[[], None]) -> None:
+        """Run ``transaction`` when the page is free; FIFO order."""
+        self._queue.append(transaction)
+        self._pump()
+
+    def _pump(self) -> None:
+        if self._busy or not self._queue:
+            return
+        self._busy = True
+        transaction = self._queue.popleft()
+        transaction()
+
+    def complete(self) -> None:
+        """The current transaction finished; start the next one."""
+        if not self._busy:
+            raise CoherenceError(
+                f"page {self.segment_id}/{self.page_id}: complete() "
+                f"without an active transaction")
+        self._busy = False
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # state transitions (called inside transactions)
+    # ------------------------------------------------------------------
+
+    def grant_read(self, node: int) -> None:
+        if self.state == ST_EXCLUSIVE:
+            raise CoherenceError(
+                f"page {self.segment_id}/{self.page_id}: read grant while "
+                f"exclusive at {self.owner}")
+        self.sharers.add(node)
+        self.state = ST_SHARED
+        self.owner = None
+
+    def grant_write(self, node: int) -> None:
+        others = (self.sharers - {node}) if self.state == ST_SHARED else set()
+        if others or (self.state == ST_EXCLUSIVE and self.owner != node):
+            raise CoherenceError(
+                f"page {self.segment_id}/{self.page_id}: write grant to "
+                f"{node} while copies exist elsewhere")
+        self.sharers = {node}
+        self.owner = node
+        self.state = ST_EXCLUSIVE
+
+    def drop_node(self, node: int) -> None:
+        """A node's copy was invalidated or written back."""
+        self.sharers.discard(node)
+        if self.owner == node:
+            self.owner = None
+        if not self.sharers:
+            self.state = ST_IDLE
+        elif self.state == ST_EXCLUSIVE:
+            self.state = ST_SHARED
+
+    def holders_to_invalidate(self, for_node: int) -> set[int]:
+        """Copies that must be invalidated before ``for_node`` may write."""
+        return set(self.sharers) - {for_node}
+
+    def exclusive_elsewhere(self, node: int) -> int | None:
+        """Owner that must yield before ``node`` may read, or None."""
+        if self.state == ST_EXCLUSIVE and self.owner != node:
+            return self.owner
+        return None
+
+    def mode_of(self, node: int) -> str:
+        from repro.dsm.page import MODE_NONE, MODE_READ, MODE_WRITE
+
+        if self.state == ST_EXCLUSIVE and self.owner == node:
+            return MODE_WRITE
+        if node in self.sharers:
+            return MODE_READ
+        return MODE_NONE

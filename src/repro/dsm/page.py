@@ -1,0 +1,119 @@
+"""Segments and pages backing DSM-transport objects.
+
+An object created with the DSM transport stores its state in a
+:class:`Segment`: a set of fixed-size pages, each holding one or more
+named fields. Two layouts exist:
+
+* **enumerated** — the class declares ``dsm_fields = {"name": default}``;
+  fields are packed ``dsm_fields_per_page`` to a page and materialised
+  with their defaults at creation;
+* **pageable** — the class sets ``dsm_pageable = True`` (with optional
+  ``dsm_pages = N``); field names hash onto pages and pages start
+  *unmaterialised*: the first touch raises VM_FAULT to the faulting
+  thread, whose handler (typically a buddy pager server, §6.4) must
+  supply the page.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SegmentError
+
+#: page access modes a node may hold
+MODE_NONE = "none"
+MODE_READ = "read"
+MODE_WRITE = "write"
+
+
+class Page:
+    """One page of a segment: values plus materialisation state."""
+
+    def __init__(self, page_id: int, size: int) -> None:
+        self.page_id = page_id
+        self.size = size
+        self.materialized = False
+        #: authoritative field values (meaningful once materialised)
+        self.values: dict[str, Any] = {}
+        #: node -> private (weakly consistent) copy installed by a pager
+        self.private_copies: dict[int, dict[str, Any]] = {}
+        self.version = 0
+
+    def write(self, field: str, value: Any) -> None:
+        self.values[field] = value
+        self.version += 1
+
+    def read(self, field: str) -> Any:
+        if field not in self.values:
+            raise SegmentError(
+                f"page {self.page_id} has no field {field!r}")
+        return self.values[field]
+
+
+class Segment:
+    """The paged state of one DSM object."""
+
+    def __init__(self, segment_id: int, home: int, page_size: int,
+                 fields: dict[str, Any] | None = None,
+                 fields_per_page: int = 1,
+                 pageable: bool = False, n_pages: int = 8) -> None:
+        if pageable and fields:
+            raise SegmentError(
+                "a segment is either enumerated (dsm_fields) or pageable, "
+                "not both")
+        self.segment_id = segment_id
+        self.home = home
+        self.page_size = page_size
+        self.pageable = pageable
+        self._field_page: dict[str, int] = {}
+        if pageable:
+            if n_pages < 1:
+                raise SegmentError(f"pageable segment needs >= 1 page")
+            self.pages = [Page(i, page_size) for i in range(n_pages)]
+        else:
+            fields = dict(fields or {})
+            if not fields:
+                raise SegmentError(
+                    "enumerated segment needs at least one field "
+                    "(declare dsm_fields on the class)")
+            n_pages = max(1, -(-len(fields) // fields_per_page))
+            self.pages = [Page(i, page_size) for i in range(n_pages)]
+            for index, (name, default) in enumerate(fields.items()):
+                page = self.pages[index // fields_per_page]
+                page.values[name] = default
+                self._field_page[name] = page.page_id
+            for page in self.pages:
+                page.materialized = True
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.pages)
+
+    def page_of(self, field: str) -> Page:
+        """The page holding ``field``."""
+        if self.pageable:
+            # Stable hash (Python's str hash is salted per process).
+            index = sum(field.encode("utf-8")) % len(self.pages)
+            return self.pages[index]
+        page_id = self._field_page.get(field)
+        if page_id is None:
+            raise SegmentError(
+                f"segment {self.segment_id} has no field {field!r}; "
+                f"declare it in dsm_fields")
+        return self.pages[page_id]
+
+    def page(self, page_id: int) -> Page:
+        if not 0 <= page_id < len(self.pages):
+            raise SegmentError(
+                f"segment {self.segment_id} has no page {page_id}")
+        return self.pages[page_id]
+
+    def fields(self) -> list[str]:
+        if self.pageable:
+            collected: set[str] = set()
+            for page in self.pages:
+                collected.update(page.values)
+                for copy in page.private_copies.values():
+                    collected.update(copy)
+            return sorted(collected)
+        return sorted(self._field_page)

@@ -1,0 +1,100 @@
+"""User-level virtual memory managers (external pagers, §6.4).
+
+"The basic strategy is that the applications will tag regions of memory
+as pageable, request VM_FAULT events and designate a server as the
+handler for VM_FAULT events (buddy handler). When any thread faults at an
+address, the thread is suspended and the handler attached to the server
+is notified. The handler code then supplies a page to satisfy the fault.
+If another thread faults on the same memory, the server can supply a copy
+of the page, and later merge the pages."
+
+:class:`PagerServer` is the reference implementation: a distributed
+object whose ``vm_fault`` handler entry serves faults from a backing
+store. Subclasses override :meth:`make_page` to generate content, or set
+``serve_private_copies`` to exercise the copy/merge path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.events.handlers import Decision
+from repro.objects.base import DistObject, entry, handler_entry
+from repro.threads.syscalls import AttachHandler
+from repro.events.handlers import HandlerContext
+from repro.events import names as event_names
+
+
+def attach_pager(pager_cap) -> AttachHandler:
+    """Syscall attaching a pager server as this thread's VM_FAULT buddy.
+
+    Usage inside an entry point::
+
+        yield attach_pager(pager.cap)
+    """
+    return AttachHandler(event=event_names.VM_FAULT,
+                         context=HandlerContext.BUDDY,
+                         fn_name="vm_fault", target=pager_cap)
+
+
+class PagerServer(DistObject):
+    """A central server satisfying VM_FAULT events for pageable segments.
+
+    Parameters
+    ----------
+    serve_private_copies:
+        When True, concurrent faulters each receive a node-private copy
+        of the page (weak consistency); call the ``merge`` entry later to
+        reconcile. When False (default) the first fault materialises the
+        page globally and the coherence protocol takes over.
+    service_time:
+        Virtual seconds of work per fault (e.g. fetching from backing
+        store).
+    """
+
+    def __init__(self, serve_private_copies: bool = False,
+                 service_time: float = 1e-4) -> None:
+        super().__init__()
+        self.serve_private_copies = serve_private_copies
+        self.service_time = service_time
+        self.faults_served = 0
+        self.pages_supplied: list[tuple[int, int, int | None]] = []
+
+    # -- policy ----------------------------------------------------------
+
+    def make_page(self, oid: int, page_id: int, field: str) -> dict[str, Any]:
+        """Content for a missing page; override for real backing stores.
+
+        The default zero-fills the faulting field (a fresh anonymous
+        page).
+        """
+        return {field: 0}
+
+    # -- the buddy handler ------------------------------------------------
+
+    @handler_entry
+    def vm_fault(self, ctx, block):
+        """Handle one VM_FAULT: supply the page, resume the faulter."""
+        info = block.user_data
+        yield ctx.compute(self.service_time)
+        self.faults_served += 1
+        private_for = info["node"] if self.serve_private_copies else None
+        values = self.make_page(info["oid"], info["page"], info["field"])
+        self.pages_supplied.append((info["oid"], info["page"], private_for))
+        yield ctx.install_page(info["oid"], info["page"], values,
+                               private_for=private_for)
+        return Decision.RESUME
+
+    # -- management entries ------------------------------------------------
+
+    @entry
+    def merge(self, ctx, oid: int, page_id: int):
+        """Merge private copies of a page back together (§6.4)."""
+        merged = yield ctx.merge_pages(oid, page_id)
+        return merged
+
+    @entry
+    def stats(self, ctx):
+        yield ctx.compute(0.0)
+        return {"faults_served": self.faults_served,
+                "pages_supplied": len(self.pages_supplied)}

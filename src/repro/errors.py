@@ -1,0 +1,164 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause
+while still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process performed an illegal operation."""
+
+
+class Interrupted(ReproError):
+    """Raised inside a simulated process when it is interrupted.
+
+    The ``cause`` attribute carries the value passed to ``interrupt()``.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class NetworkError(ReproError):
+    """The message fabric was used incorrectly."""
+
+
+class PartitionedError(NetworkError):
+    """A message could not be delivered because of a network partition."""
+
+
+class KernelError(ReproError):
+    """A node kernel was used incorrectly."""
+
+
+class UnknownNodeError(KernelError):
+    """Referenced a node id that does not exist in the cluster."""
+
+
+class NameServiceError(KernelError):
+    """A name lookup or registration failed."""
+
+
+class RpcError(KernelError):
+    """A request/reply exchange failed."""
+
+
+class RpcTimeout(RpcError):
+    """A request did not receive a reply within its deadline."""
+
+
+class ObjectError(ReproError):
+    """An object-system operation failed."""
+
+
+class UnknownObjectError(ObjectError):
+    """Referenced an object id that is not registered anywhere."""
+
+
+class NoSuchEntryError(ObjectError):
+    """Invoked an entry point that the object does not define."""
+
+
+class InvocationError(ObjectError):
+    """An invocation could not be carried out."""
+
+
+class InvocationAborted(InvocationError):
+    """An in-progress invocation was aborted (e.g. by an ABORT event)."""
+
+
+class ThreadError(ReproError):
+    """A thread-system operation failed."""
+
+
+class UnknownThreadError(ThreadError):
+    """Referenced a thread id that does not exist (or no longer exists)."""
+
+
+class DeadThreadError(UnknownThreadError):
+    """An event was posted to a thread that has already terminated.
+
+    The paper (section 7.2) requires that the sender of an asynchronous
+    event be notified when the target thread has been destroyed; this
+    exception is that notification.
+    """
+
+
+class ThreadTerminated(ThreadError):
+    """Thrown into a thread's activations while it is being terminated.
+
+    User entry points observe this as an exception so their ``finally``
+    blocks run, mirroring stack unwinding during termination.
+    """
+
+
+class GroupError(ThreadError):
+    """A thread-group operation failed."""
+
+
+class EventError(ReproError):
+    """An event-system operation failed."""
+
+
+class UnknownEventError(EventError):
+    """Raised or attached a handler for an event name never registered."""
+
+
+class EventNameInUseError(EventError):
+    """Attempted to register an event name that already exists."""
+
+
+class NoHandlerError(EventError):
+    """No handler accepted the event and no default action applies."""
+
+
+class HandlerContextError(EventError):
+    """A handler's execution context could not be established."""
+
+
+class LocateError(EventError):
+    """A thread-location strategy failed to find the target thread."""
+
+
+class DsmError(ReproError):
+    """A distributed-shared-memory operation failed."""
+
+
+class SegmentError(DsmError):
+    """A segment was created, mapped or accessed incorrectly."""
+
+
+class PageFaultError(DsmError):
+    """A page fault could not be satisfied."""
+
+
+class CoherenceError(DsmError):
+    """The coherence protocol detected an inconsistent state."""
+
+
+class PagerError(DsmError):
+    """A user-level pager misbehaved."""
+
+
+class LockError(ReproError):
+    """A distributed lock operation failed."""
+
+
+class LockNotHeldError(LockError):
+    """Released a lock the thread does not hold."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark harness was configured incorrectly."""

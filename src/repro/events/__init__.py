@@ -1,0 +1,16 @@
+"""The asynchronous event facility (the paper's contribution)."""
+
+from repro.events import names
+from repro.events.block import EventBlock, FrameInfo, ThreadSnapshot
+from repro.events.handlers import Decision, HandlerChain, HandlerContext, HandlerRegistration
+
+__all__ = [
+    "Decision",
+    "EventBlock",
+    "FrameInfo",
+    "HandlerChain",
+    "HandlerContext",
+    "HandlerRegistration",
+    "ThreadSnapshot",
+    "names",
+]

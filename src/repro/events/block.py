@@ -1,0 +1,106 @@
+"""Event blocks.
+
+"Information necessary to handle the event is encapsulated in a structure
+called an event block and is passed to the handler. The event block
+contains generic system information such as state of the registers, etc.,
+for exception handling and space for user defined data structures for
+user events." (§4.1)
+
+In this reproduction the "state of the registers" is the structured
+:class:`ThreadSnapshot` of the suspended thread: which object/entry each
+live frame is in, on which node, and the innermost "program counter"
+(the frame's step count — the virtual analogue of a PC the monitoring
+application of §6.2 samples).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_block_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class FrameInfo:
+    """One activation record in a thread snapshot."""
+
+    oid: int
+    entry: str
+    node: int
+    steps: int
+
+
+@dataclass(frozen=True)
+class ThreadSnapshot:
+    """Register-file analogue: the suspended thread's visible state."""
+
+    tid: object
+    state: str
+    node: int | None
+    frames: tuple[FrameInfo, ...] = ()
+
+    @property
+    def program_counter(self) -> tuple[int, str, int] | None:
+        """(oid, entry, steps) of the innermost frame, or None if idle."""
+        if not self.frames:
+            return None
+        top = self.frames[-1]
+        return (top.oid, top.entry, top.steps)
+
+
+@dataclass
+class EventBlock:
+    """The structure handed to every handler.
+
+    Attributes
+    ----------
+    event:
+        Event name (system or user).
+    raiser_tid:
+        Thread that raised the event, or None for kernel-raised events.
+    raiser_node:
+        Node where the raise happened.
+    target:
+        The addressed recipient (a tid, group id, or oid) as given to
+        ``raise``.
+    synchronous:
+        True when raised with ``raise_and_wait`` — the raiser is blocked
+        until a handler (or the delivery engine on chain completion)
+        resumes it.
+    user_data:
+        "Space for user defined data structures for user events."
+    snapshot:
+        State of the suspended target thread at delivery time (None for
+        object-targeted events with no thread involved).
+    raised_at:
+        Virtual time of the raise.
+    delivered_at:
+        Virtual time delivery began (set by the delivery engine).
+    """
+
+    event: str
+    raiser_tid: object = None
+    raiser_node: int | None = None
+    target: object = None
+    synchronous: bool = False
+    user_data: Any = None
+    snapshot: ThreadSnapshot | None = None
+    raised_at: float = 0.0
+    delivered_at: float | None = None
+    block_id: int = field(default_factory=lambda: next(_block_ids))
+    #: Set by the delivery engine while a chain executes, so a handler can
+    #: resume a synchronously-blocked raiser early via ctx.resume_raiser.
+    _resume_token: Any = field(default=None, repr=False)
+
+    def with_event(self, event: str, user_data: Any = None) -> "EventBlock":
+        """Derive a transformed block for re-raising up a chain (§4.2:
+        an event propagated to an outer object "must be transformed to a
+        form understandable" to it)."""
+        return EventBlock(
+            event=event, raiser_tid=self.raiser_tid,
+            raiser_node=self.raiser_node, target=self.target,
+            synchronous=False,
+            user_data=self.user_data if user_data is None else user_data,
+            snapshot=self.snapshot, raised_at=self.raised_at)

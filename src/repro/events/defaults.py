@@ -1,0 +1,97 @@
+"""Default actions for system events.
+
+"Object-based event handling requires the operating system to define the
+default action for predefined system events. Provisions to overload the
+default action by objects must be provided." (§7)
+
+The same applies to threads: a TERMINATE delivered to a thread with no
+handler chain must still terminate it. This module is the single table of
+kernel-defined defaults, consulted by the delivery engine when a chain is
+exhausted (thread targets) or no object handler is declared (object
+targets).
+"""
+
+from __future__ import annotations
+
+from repro.events import names
+from repro.events.handlers import Decision
+
+# -- thread-targeted defaults -------------------------------------------------
+
+#: Default decision applied when a thread's handler chain for the event is
+#: empty or every handler propagated past the end.
+_THREAD_DEFAULTS: dict[str, Decision] = {
+    names.TERMINATE: Decision.TERMINATE,
+    names.QUIT: Decision.TERMINATE,
+    names.ABORT: Decision.TERMINATE,
+    names.DIV_ZERO: Decision.TERMINATE,
+    names.SEGV: Decision.TERMINATE,
+    # Interrupts and timers are ignored if nobody asked for them.
+    names.INTERRUPT: Decision.RESUME,
+    names.TIMER: Decision.RESUME,
+    names.DELETE: Decision.RESUME,
+    # A VM fault nobody handles is fatal to the faulting thread.
+    names.VM_FAULT: Decision.TERMINATE,
+    # Notification that an async raise hit a dead thread (§7.2); harmless
+    # if the application did not subscribe.
+    names.TARGET_DEAD: Decision.RESUME,
+}
+
+#: Default decision for unhandled *user* events delivered to a thread.
+USER_EVENT_DEFAULT = Decision.RESUME
+
+
+def thread_default(event: str) -> Decision:
+    """Kernel default when no thread-based handler consumed the event."""
+    return _THREAD_DEFAULTS.get(event, USER_EVENT_DEFAULT)
+
+
+# -- object-targeted defaults -------------------------------------------------
+
+#: Object default actions, keyed by event. Values are symbolic commands
+#: the delivery engine interprets (it has the kernel access needed).
+OBJ_DESTROY = "destroy"
+OBJ_IGNORE = "ignore"
+OBJ_REJECT = "reject"
+
+_OBJECT_DEFAULTS: dict[str, str] = {
+    # DELETE with no user handler destroys the object outright.
+    names.DELETE: OBJ_DESTROY,
+    # ABORT's kernel default is a notification no-op: the object had no
+    # cleanup registered.
+    names.ABORT: OBJ_IGNORE,
+    names.TIMER: OBJ_IGNORE,
+    names.INTERRUPT: OBJ_IGNORE,
+    names.TARGET_DEAD: OBJ_IGNORE,
+}
+
+
+def object_default(event: str, system: bool) -> str:
+    """Kernel default when an object declares no handler for the event.
+
+    Unhandled *user* events (and unexpected system events) are rejected:
+    a synchronous raiser sees :class:`~repro.errors.NoHandlerError`, an
+    asynchronous raise is traced and dropped.
+    """
+    return _OBJECT_DEFAULTS.get(event, OBJ_REJECT)
+
+
+# -- exceptions as events (§3, §6.1) ------------------------------------------
+
+#: Python exception type -> system event the kernel raises when user entry
+#: code fails with it ("a division by zero in a user program leads to the
+#: raising of a system event by the operating system").
+EXCEPTION_EVENTS: dict[type[BaseException], str] = {
+    ZeroDivisionError: names.DIV_ZERO,
+    ArithmeticError: names.DIV_ZERO,
+    MemoryError: names.SEGV,
+    IndexError: names.SEGV,
+}
+
+
+def event_for_exception(exc: BaseException) -> str | None:
+    """Map a user exception to a system event name, if one applies."""
+    for etype, event in EXCEPTION_EVENTS.items():
+        if isinstance(exc, etype):
+            return event
+    return None

@@ -1,0 +1,841 @@
+"""The event manager: raising, routing, delivery and handler execution.
+
+This module implements the paper's contribution proper (§3–§5, §7):
+
+* ``raise(e, tid | gtid | oid)`` and ``raise_and_wait(...)`` with the six
+  addressing/blocking combinations of the §5.3 table;
+* delivery to **threads**: locate the target (pluggable §7.1 strategy),
+  suspend it at its next interruption point, run its LIFO handler chain —
+  each handler in its declared context (current object / attaching object
+  / buddy) on a *surrogate thread* that takes on the suspended thread's
+  attributes — then resume or terminate per the final decision;
+* delivery to **passive objects**: an implicit invocation of the object's
+  registered handler, executed by the node's master handler thread (§7);
+* kernel-raised events: exceptions mapped to system events (§6.1),
+  thread-attribute timers re-armed wherever the thread goes (§6.2), and
+  §7.2's dead-target notification back to asynchronous raisers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import (
+    DeadThreadError,
+    RpcTimeout,
+    EventError,
+    HandlerContextError,
+    InvocationAborted,
+    NoHandlerError,
+    ThreadTerminated,
+    UnknownObjectError,
+)
+from repro.events import defaults, names
+from repro.events.block import EventBlock
+from repro.events.handlers import Decision, HandlerContext, HandlerRegistration
+from repro.events.locate import (
+    MSG_BCAST_POST,
+    MSG_BCAST_REPLY,
+    MSG_MCAST_POST,
+    MSG_MCAST_REPLY,
+    MSG_PATH_POST,
+    BroadcastLocator,
+    MulticastLocator,
+    PathLocator,
+    make_locator,
+)
+from repro.net.message import Message
+from repro.objects.capability import Capability
+from repro.sim.primitives import SimFuture
+from repro.threads import syscalls as sc
+from repro.threads.attributes import TimerSpec
+from repro.threads.ids import GroupId, ThreadId
+from repro.threads.thread import (
+    DThread,
+    KIND_SURROGATE,
+    KIND_USER,
+    TERMINATING,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.boot import Cluster
+    from repro.objects.base import DistObject
+    from repro.threads.thread import Activation
+
+MSG_POST_OBJECT = "event.post-object"
+MSG_RESUME = "event.resume"
+
+_proc_names = itertools.count(1)
+
+
+class EventManager:
+    """Cluster-wide event facility (per-node state lives in the kernels)."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.locator = make_locator(cluster.config.locator, self)
+        # All three strategies answer their own message types, so mixed
+        # experiments can instantiate them side by side.
+        self._path = (self.locator if isinstance(self.locator, PathLocator)
+                      else PathLocator(self))
+        self._bcast = (self.locator
+                       if isinstance(self.locator, BroadcastLocator)
+                       else BroadcastLocator(self))
+        self._mcast = (self.locator
+                       if isinstance(self.locator, MulticastLocator)
+                       else MulticastLocator(self))
+        for kernel in cluster.kernels.values():
+            kernel.register_message_handler(MSG_POST_OBJECT,
+                                            self._on_post_object)
+            kernel.register_message_handler(MSG_RESUME, self._on_resume)
+            kernel.register_message_handler(MSG_PATH_POST,
+                                            self._path.on_message)
+            kernel.register_message_handler(MSG_BCAST_POST,
+                                            self._bcast.on_message)
+            kernel.register_message_handler(MSG_BCAST_REPLY,
+                                            self._bcast.on_reply)
+            kernel.register_message_handler(MSG_MCAST_POST,
+                                            self._mcast.on_message)
+            kernel.register_message_handler(MSG_MCAST_REPLY,
+                                            self._mcast.on_reply)
+        #: block_id -> pending synchronous-raise record
+        self._sync_waits: dict[int, dict] = {}
+        #: delivery statistics for the benchmarks
+        self.posts = 0
+        self.delivered = 0
+        self.dead_targets = 0
+        #: per-delivery (event, raise->deliver virtual latency) samples
+        self.delivery_latencies: list[tuple[str, float]] = []
+
+    # ==================================================================
+    # raising (§5.3)
+    # ==================================================================
+
+    def raise_from_thread(self, thread: DThread, syscall: sc.Raise) -> None:
+        """A running thread executed ``raise`` / ``raise_and_wait``."""
+        try:
+            self.cluster.names.require_event(syscall.event)
+            target = self._normalize_target(syscall.target)
+        except EventError as exc:
+            thread.schedule_step(None, exc)
+            return
+        node = thread.current_node
+        block = EventBlock(event=syscall.event, raiser_tid=thread.tid,
+                           raiser_node=node, target=target,
+                           synchronous=syscall.synchronous,
+                           user_data=syscall.user_data,
+                           raised_at=self.cluster.sim.now)
+        self.cluster.tracer.emit(
+            "event", "raise", event=syscall.event, tid=str(thread.tid),
+            target=str(target), sync=syscall.synchronous, node=node)
+        if syscall.synchronous:
+            record = {"kind": "thread", "thread": thread,
+                      "epoch": thread.block("raise_and_wait"),
+                      "node": node, "remaining": 1, "values": [],
+                      "group": isinstance(target, GroupId)}
+            self._sync_waits[block.block_id] = record
+            count = self._route(node, block, target)
+            if count == 0:
+                self._sync_waits.pop(block.block_id, None)
+                thread.resume_with(None, DeadThreadError(
+                    f"no recipients for {syscall.event} -> {target}"),
+                    record["epoch"])
+                return
+            record["remaining"] = count
+            self._arm_sync_timeout(block.block_id, syscall.event)
+        else:
+            count = self._route(node, block, target)
+            thread.schedule_step(count, None)
+
+    def raise_external(self, event: str, target: Any, from_node: int = 0,
+                       user_data: Any = None,
+                       synchronous: bool = False) -> SimFuture[Any]:
+        """Raise an event from outside any thread (the user's terminal,
+        a test harness, a device): the paper's ^C enters the system this
+        way. Returns a future: recipient count (async) or the handler
+        value (sync)."""
+        self.cluster.names.require_event(event)
+        target = self._normalize_target(target)
+        future: SimFuture[Any] = SimFuture(self.cluster.sim)
+        block = EventBlock(event=event, raiser_tid=None,
+                           raiser_node=from_node, target=target,
+                           synchronous=synchronous, user_data=user_data,
+                           raised_at=self.cluster.sim.now)
+        self.cluster.tracer.emit("event", "raise", event=event, tid="<ext>",
+                                 target=str(target), sync=synchronous,
+                                 node=from_node)
+        if synchronous:
+            record = {"kind": "external", "future": future,
+                      "node": from_node, "remaining": 1, "values": [],
+                      "group": isinstance(target, GroupId)}
+            self._sync_waits[block.block_id] = record
+            count = self._route(from_node, block, target)
+            if count == 0:
+                self._sync_waits.pop(block.block_id, None)
+                future.fail(DeadThreadError(
+                    f"no recipients for {event} -> {target}"))
+            else:
+                record["remaining"] = count
+                self._arm_sync_timeout(block.block_id, event)
+        else:
+            count = self._route(from_node, block, target)
+            future.resolve(count)
+        return future
+
+    def _arm_sync_timeout(self, token: int, event: str) -> None:
+        """Guard a raise_and_wait against lost resumes (config knob)."""
+        timeout = self.cluster.config.sync_raise_timeout
+        if timeout is None:
+            return
+
+        def expire() -> None:
+            record = self._sync_waits.pop(token, None)
+            if record is None:
+                return
+            error = RpcTimeout(
+                f"raise_and_wait({event}) saw no resume within {timeout}s")
+            self.cluster.tracer.emit("event", "sync-timeout", event=event)
+            if record["kind"] == "external":
+                if not record["future"].done:
+                    record["future"].fail(error)
+            else:
+                record["thread"].resume_with(None, error, record["epoch"])
+
+        self.cluster.sim.call_after(timeout, expire)
+
+    def _normalize_target(self, target: Any) -> Any:
+        if isinstance(target, (ThreadId, GroupId, Capability)):
+            return target
+        if isinstance(target, DThread):
+            return target.tid
+        if isinstance(target, int):
+            obj = self.cluster.find_object(target)
+            if obj is None:
+                raise EventError(f"no object with oid {target}")
+            return obj.cap
+        if hasattr(target, "cap"):
+            return target.cap
+        raise EventError(
+            f"event target must be a ThreadId, GroupId, or object "
+            f"capability; got {target!r}")
+
+    def _route(self, from_node: int, block: EventBlock, target: Any) -> int:
+        """Start routing; returns the number of recipients targeted."""
+        self.posts += 1
+        if isinstance(target, Capability):
+            self._post_object(from_node, block, target)
+            return 1
+        if isinstance(target, GroupId):
+            members = sorted(self.cluster.groups.members_or_empty(target))
+            for tid in members:
+                # Each member gets its own copy of the block (separate
+                # snapshots/decisions) tied to the same sync record.
+                member_block = EventBlock(
+                    event=block.event, raiser_tid=block.raiser_tid,
+                    raiser_node=block.raiser_node, target=target,
+                    synchronous=block.synchronous,
+                    user_data=block.user_data, raised_at=block.raised_at)
+                member_block._resume_token = block.block_id
+                self._post_thread(from_node, tid, member_block)
+            return len(members)
+        # single thread
+        block._resume_token = block.block_id
+        self._post_thread(from_node, block.target, block)
+        return 1
+
+    def _post_thread(self, from_node: int, tid: ThreadId,
+                     block: EventBlock) -> None:
+        # Local fast path: if the target's innermost activation is on the
+        # raising node, the kernel hands the notice over directly — no
+        # location protocol, no messages. This also makes raise-to-self
+        # land at the raiser's next yield point (breakpoints, the
+        # QUIT -> TERMINATE re-raise of the ^C protocol, ...).
+        if self.cluster.kernels[from_node].thread_table.innermost_here(tid):
+            if self.enqueue_for_thread(from_node, tid, block):
+                self.cluster.tracer.emit("event", "routed",
+                                         event=block.event, tid=str(tid),
+                                         hops=0)
+                return
+
+        def on_result(delivered: bool, hops: int) -> None:
+            self.cluster.tracer.emit(
+                "event", "routed" if delivered else "dead-target",
+                event=block.event, tid=str(tid), hops=hops)
+            if not delivered:
+                self.dead_targets += 1
+                self._dead_target(block, tid)
+
+        self.locator.post(from_node, tid, block, on_result)
+
+    def _dead_target(self, block: EventBlock, tid: ThreadId) -> None:
+        """§7.2: the sender of an event to a destroyed thread is notified."""
+        if block.synchronous:
+            self._complete_sync(block, None,
+                                DeadThreadError(f"thread {tid} is dead"),
+                                from_node=block.raiser_node or 0)
+            return
+        raiser = (self.cluster.live_threads.get(block.raiser_tid)
+                  if block.raiser_tid is not None else None)
+        if raiser is not None and raiser.attributes.handlers_for(
+                names.TARGET_DEAD):
+            notice = EventBlock(event=names.TARGET_DEAD, raiser_tid=None,
+                                raiser_node=block.raiser_node,
+                                target=raiser.tid,
+                                user_data={"event": block.event,
+                                           "dead_tid": tid},
+                                raised_at=self.cluster.sim.now)
+            self._post_thread(block.raiser_node or 0, raiser.tid, notice)
+
+    # ==================================================================
+    # thread-targeted delivery
+    # ==================================================================
+
+    def enqueue_for_thread(self, node: int, tid: ThreadId,
+                           block: EventBlock) -> bool:
+        """A notice reached the node holding the thread's innermost frame."""
+        thread = self.cluster.live_threads.get(tid)
+        if thread is None or not thread.alive or thread.state == TERMINATING:
+            return False
+        thread.pending_notices.append(block)
+        self.cluster.tracer.emit("event", "enqueue", event=block.event,
+                                 tid=str(tid), node=node)
+        thread.notice_arrived()
+        return True
+
+    def start_delivery(self, thread: DThread) -> None:
+        """Suspend the thread and begin draining its notice queue."""
+        if (thread.suspended_by_event or not thread.alive
+                or thread.state == TERMINATING):
+            return
+        thread.suspended_by_event = True
+        self.cluster.sim.call_after(self.cluster.config.context_switch_cost,
+                                    self._next_notice, thread)
+
+    def _next_notice(self, thread: DThread) -> None:
+        if not thread.alive or thread.state == TERMINATING:
+            thread.suspended_by_event = False
+            return
+        if not thread.pending_notices:
+            self._end_suspension(thread)
+            return
+        block = thread.pending_notices.pop(0)
+        thread.delivering_event = block.event
+        block.delivered_at = self.cluster.sim.now
+        block.snapshot = thread.snapshot()
+        self.delivered += 1
+        self.delivery_latencies.append(
+            (block.event, block.delivered_at - block.raised_at))
+        self.cluster.tracer.emit("event", "deliver", event=block.event,
+                                 tid=str(thread.tid),
+                                 node=thread.current_node)
+        chain = thread.attributes.handlers_for(block.event)
+        self._run_chain(thread, block, chain, 0)
+
+    def _end_suspension(self, thread: DThread) -> None:
+        thread.suspended_by_event = False
+        thread.delivering_event = None
+        if not thread.alive:
+            return
+        if thread.pending_notices:
+            self.start_delivery(thread)
+            return
+        stash = thread.take_stash()
+        if stash is not None:
+            thread.schedule_step(*stash)
+        # else: the thread keeps waiting for whatever it was blocked on.
+
+    def _run_chain(self, thread: DThread, block: EventBlock,
+                   chain: list[HandlerRegistration], index: int) -> None:
+        if not thread.alive:
+            self._complete_sync(block, None,
+                                DeadThreadError(f"{thread.tid} died"),
+                                from_node=thread.current_node)
+            return
+        if index >= len(chain):
+            decision = defaults.thread_default(block.event)
+            self._apply_decision(thread, block, decision, None)
+            return
+        registration = chain[index]
+
+        def done(decision: Decision, value: Any,
+                 error: BaseException | None) -> None:
+            self.cluster.tracer.emit(
+                "event", "handler-done", event=block.event,
+                tid=str(thread.tid), context=registration.context.value,
+                decision=decision.value,
+                error=repr(error) if error else None)
+            if decision is Decision.PROPAGATE:
+                self._run_chain(thread, block, chain, index + 1)
+            else:
+                self._apply_decision(thread, block, decision, value)
+
+        self._execute_registration(thread, registration, block, done)
+
+    def _apply_decision(self, thread: DThread, block: EventBlock,
+                        decision: Decision, value: Any) -> None:
+        # The synchronous raiser is resumed when handling concludes,
+        # whatever the fate of the target thread.
+        self._complete_sync(block, value, None,
+                            from_node=thread.current_node)
+        if decision is Decision.TERMINATE:
+            thread.suspended_by_event = False
+            self.cluster.invoker.terminate_thread(
+                thread, reason=f"event {block.event}")
+            return
+        self._continue_after_notice(thread)
+
+    def _continue_after_notice(self, thread: DThread) -> None:
+        if thread.pending_notices:
+            self._next_notice(thread)
+        else:
+            self._end_suspension(thread)
+
+    # ------------------------------------------------------------------
+    # executing one thread-based handler (§4.1 contexts)
+    # ------------------------------------------------------------------
+
+    def _execute_registration(self, thread: DThread,
+                              registration: HandlerRegistration,
+                              block: EventBlock, done) -> None:
+        cfg = self.cluster.config
+        node = thread.current_node
+        if registration.context is HandlerContext.CURRENT:
+            try:
+                fn = thread.attributes.per_thread_memory.procedure(
+                    registration.procedure)
+            except HandlerContextError as exc:
+                done(Decision.PROPAGATE, None, exc)
+                return
+            current_obj = thread.current_object
+            self.cluster.sim.call_after(
+                cfg.surrogate_cost, self._run_procedure_surrogate, thread,
+                fn, current_obj, block, node, done)
+            return
+        # ATTACHING / BUDDY: unscheduled invocation of a handler method.
+        obj = self.cluster.find_object(registration.target_oid)
+        if obj is None:
+            done(Decision.PROPAGATE, None, UnknownObjectError(
+                f"handler object {registration.target_oid} is gone"))
+            return
+        try:
+            obj.handler_fn(registration.fn_name)
+        except BaseException as exc:  # noqa: BLE001 - bad registration
+            done(Decision.PROPAGATE, None, exc)
+            return
+        self.cluster.sim.call_after(
+            cfg.surrogate_cost, self._run_invoke_surrogate, thread, obj,
+            registration.fn_name, block, node, done)
+
+    def _run_procedure_surrogate(self, thread: DThread, fn, current_obj,
+                                 block: EventBlock, node: int, done) -> None:
+        """Per-thread-memory handler in the current object's context."""
+
+        def body(ctx):
+            ctx._activation.obj = current_obj
+            ctx._activation.event_block = block
+            result = yield from fn(ctx, block)
+            return result
+
+        surrogate = self.cluster.invoker.adopt_loop_thread(
+            node, body, f"handler:{block.event}", KIND_SURROGATE,
+            attributes=thread.attributes, impersonate=thread.tid)
+        surrogate.completion.add_done_callback(
+            lambda fut: self._surrogate_done(fut, done))
+
+    def _run_invoke_surrogate(self, thread: DThread, obj: "DistObject",
+                              fn_name: str, block: EventBlock, node: int,
+                              done) -> None:
+        """Attaching-object / buddy handler via unscheduled invocation."""
+
+        def body(ctx):
+            result = yield sc.Invoke(cap=obj.cap, entry=fn_name,
+                                     args=(block,), as_handler=True,
+                                     handler_block=block)
+            return result
+
+        surrogate = self.cluster.invoker.adopt_loop_thread(
+            node, body, f"handler:{block.event}", KIND_SURROGATE,
+            attributes=thread.attributes, impersonate=thread.tid)
+        surrogate.completion.add_done_callback(
+            lambda fut: self._surrogate_done(fut, done))
+
+    def _surrogate_done(self, fut: SimFuture[Any], done) -> None:
+        if fut.failed or fut.cancelled:
+            try:
+                fut.result()
+            except BaseException as exc:  # noqa: BLE001
+                done(Decision.PROPAGATE, None, exc)
+            return
+        decision, value = self._parse_decision(fut.result())
+        done(decision, value, None)
+
+    @staticmethod
+    def _parse_decision(result: Any) -> tuple[Decision, Any]:
+        if result is None:
+            return Decision.RESUME, None
+        if isinstance(result, Decision):
+            return result, None
+        if (isinstance(result, tuple) and len(result) == 2
+                and isinstance(result[0], Decision)):
+            return result
+        return Decision.RESUME, result
+
+    # ==================================================================
+    # object-targeted delivery (§4.3)
+    # ==================================================================
+
+    def _post_object(self, from_node: int, block: EventBlock,
+                     cap: Capability) -> None:
+        if from_node == cap.home:
+            self.cluster.sim.call_soon(self._handle_object_post,
+                                       cap.home, block, cap.oid)
+            return
+        self.cluster.fabric.send(Message(
+            src=from_node, dst=cap.home, mtype=MSG_POST_OBJECT, size=128,
+            payload={"block": block, "oid": cap.oid}))
+
+    def _on_post_object(self, message: Message) -> None:
+        body = message.payload
+        self._handle_object_post(int(message.dst), body["block"],
+                                 body["oid"])
+
+    def post_abort_notification(self, obj: "DistObject", thread: DThread,
+                                node: int) -> None:
+        """Unwind-time ABORT notification to an object (§6.3)."""
+        block = EventBlock(event=names.ABORT, raiser_tid=thread.tid,
+                           raiser_node=node, target=obj.cap,
+                           user_data={"tid": thread.tid},
+                           raised_at=self.cluster.sim.now)
+        self._post_object(node, block, obj.cap)
+
+    def _handle_object_post(self, node: int, block: EventBlock,
+                            oid: int) -> None:
+        kernel = self.cluster.kernels[node]
+        obj = kernel.objects.get(oid)
+        self.cluster.tracer.emit("event", "deliver-object",
+                                 event=block.event, oid=oid, node=node)
+        if obj is None:
+            self._complete_sync(block, None, UnknownObjectError(
+                f"object {oid} no longer exists"), from_node=node)
+            return
+        fn = obj.object_handler_fn(block.event)
+        if fn is None:
+            self._object_default(node, obj, block)
+            return
+        done: SimFuture[Any] = SimFuture(self.cluster.sim)
+        kernel.objects.run_object_handler(obj, fn, block, done)
+
+        def finished(fut: SimFuture[Any]) -> None:
+            error: BaseException | None = None
+            value: Any = None
+            if fut.failed or fut.cancelled:
+                try:
+                    fut.result()
+                except BaseException as exc:  # noqa: BLE001
+                    error = exc
+            else:
+                value = fut.result()
+            if block.event == names.DELETE and error is None:
+                kernel.objects.destroy(oid)
+            self._complete_sync(block, value, error, from_node=node)
+
+        done.add_done_callback(finished)
+
+    def _object_default(self, node: int, obj: "DistObject",
+                        block: EventBlock) -> None:
+        info = self.cluster.names.require_event(block.event)
+        action = defaults.object_default(block.event, info["system"])
+        kernel = self.cluster.kernels[node]
+        if action == defaults.OBJ_DESTROY:
+            kernel.objects.destroy(obj.oid)
+            self._complete_sync(block, None, None, from_node=node)
+        elif action == defaults.OBJ_IGNORE:
+            self._complete_sync(block, None, None, from_node=node)
+        else:
+            self.cluster.tracer.emit("event", "object-reject",
+                                     event=block.event, oid=obj.oid)
+            self._complete_sync(block, None, NoHandlerError(
+                f"object {obj.oid} has no handler for {block.event}"),
+                from_node=node)
+
+    # ==================================================================
+    # synchronous-raise completion (the resume path)
+    # ==================================================================
+
+    def _complete_sync(self, block: EventBlock, value: Any,
+                       error: BaseException | None, from_node: int) -> None:
+        if not block.synchronous:
+            if error is not None:
+                self.cluster.tracer.emit("event", "async-error",
+                                         event=block.event,
+                                         error=repr(error))
+            return
+        token = block._resume_token or block.block_id
+        record = self._sync_waits.get(token)
+        if record is None:
+            return
+        if from_node == record["node"]:
+            self.cluster.sim.call_soon(self._arrive_resume, token, value,
+                                       error)
+            return
+        self.cluster.fabric.send(Message(
+            src=from_node, dst=record["node"], mtype=MSG_RESUME, size=96,
+            payload={"token": token, "value": value, "error": error}))
+
+    def _on_resume(self, message: Message) -> None:
+        body = message.payload
+        self._arrive_resume(body["token"], body["value"], body["error"])
+
+    def _arrive_resume(self, token: int, value: Any,
+                       error: BaseException | None) -> None:
+        record = self._sync_waits.get(token)
+        if record is None:
+            return
+        record["values"].append(value)
+        record["remaining"] -= 1
+        if error is not None:
+            record["error"] = error
+        if record["remaining"] > 0:
+            return
+        del self._sync_waits[token]
+        final_error = record.get("error")
+        result = record["values"] if record["group"] else record["values"][0]
+        if record["kind"] == "external":
+            future: SimFuture[Any] = record["future"]
+            if not future.done:
+                if final_error is not None:
+                    future.fail(final_error)
+                else:
+                    future.resolve(result)
+            return
+        thread: DThread = record["thread"]
+        thread.resume_with(None if final_error is not None else result,
+                           final_error, record["epoch"])
+
+    def resume_raiser(self, block: EventBlock, value: Any) -> None:
+        """Handler-initiated early resume of a blocked raiser (§5.3)."""
+        # The handler runs somewhere in the cluster; charge the resume
+        # from the raise's delivery node when known.
+        from_node = (block.snapshot.node if block.snapshot is not None
+                     else block.raiser_node or 0)
+        self._complete_sync(block, value, None, from_node=from_node)
+        # Mark so chain completion does not double-resume.
+        block.synchronous = False
+
+    # ==================================================================
+    # attach/detach (§5.2)
+    # ==================================================================
+
+    def attach_from_thread(self, thread: DThread, frame: "Activation",
+                           syscall: sc.AttachHandler) -> None:
+        try:
+            self.cluster.names.require_event(syscall.event)
+            registration = self._build_registration(thread, frame, syscall)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            thread.schedule_step(None, exc)
+            return
+        thread.attributes.attach(registration)
+        self.cluster.tracer.emit(
+            "event", "attach", event=syscall.event, tid=str(thread.tid),
+            context=registration.context.value, node=frame.node)
+        thread.schedule_step_after(self.cluster.config.attach_cost,
+                                   registration.reg_id, None)
+
+    def _build_registration(self, thread: DThread, frame: "Activation",
+                            syscall: sc.AttachHandler) -> HandlerRegistration:
+        context = syscall.context
+        if context is HandlerContext.CURRENT:
+            procedure = syscall.procedure
+            if callable(procedure) and not isinstance(procedure, str):
+                name = getattr(procedure, "__name__", "proc")
+                key = f"{name}#{next(_proc_names)}"
+                thread.attributes.per_thread_memory.install_procedure(
+                    key, procedure)
+                procedure = key
+            return HandlerRegistration(
+                event=syscall.event, context=context, procedure=procedure,
+                attached_in_oid=(frame.obj.oid if frame.obj else None),
+                attached_at_node=frame.node)
+        if context is HandlerContext.BUDDY:
+            if syscall.target is None:
+                raise EventError("buddy handler needs a target capability")
+            target_oid = syscall.target.oid
+        else:  # ATTACHING
+            if frame.obj is None:
+                raise EventError(
+                    "attaching-context handler requires the thread to be "
+                    "executing inside an object")
+            target_oid = frame.obj.oid
+        obj = self.cluster.find_object(target_oid)
+        if obj is None:
+            raise UnknownObjectError(f"no object {target_oid}")
+        obj.handler_fn(syscall.fn_name)  # validate now, not at delivery
+        return HandlerRegistration(
+            event=syscall.event, context=context, fn_name=syscall.fn_name,
+            target_oid=target_oid,
+            attached_in_oid=(frame.obj.oid if frame.obj else None),
+            attached_at_node=frame.node)
+
+    # ==================================================================
+    # exceptions as events (§3, §6.1)
+    # ==================================================================
+
+    def on_frame_exception(self, thread: DThread, frame: "Activation",
+                           exc: BaseException) -> None:
+        """An activation's generator raised; decide events vs propagation."""
+        if isinstance(exc, (ThreadTerminated, InvocationAborted)):
+            self.cluster.invoker.frame_failed(thread, exc)
+            return
+        event = defaults.event_for_exception(exc)
+        if event is None or thread.kind != KIND_USER:
+            self.cluster.invoker.frame_failed(thread, exc)
+            return
+        obj_handler = (frame.obj.object_handler_fn(event)
+                       if frame.obj is not None else None)
+        chain = thread.attributes.handlers_for(event)
+        if obj_handler is None and not chain:
+            self.cluster.invoker.frame_failed(thread, exc)
+            return
+        block = EventBlock(event=event, raiser_tid=None,
+                           raiser_node=frame.node, target=thread.tid,
+                           user_data=exc, raised_at=self.cluster.sim.now)
+        block.snapshot = thread.snapshot()
+        block.delivered_at = self.cluster.sim.now
+        thread.suspended_by_event = True
+        self.cluster.tracer.emit("event", "exception", event=event,
+                                 tid=str(thread.tid), error=repr(exc),
+                                 node=frame.node)
+
+        def finish(decision: Decision, value: Any) -> None:
+            thread.suspended_by_event = False
+            if decision is Decision.RESUME:
+                # Levin-style repair: the faulted invocation returns the
+                # handler's recovery value to its caller.
+                self.cluster.invoker.frame_returned(thread, value)
+            elif decision is Decision.TERMINATE:
+                self.cluster.invoker.terminate_thread(
+                    thread, reason=f"unhandled {event}")
+            else:
+                self.cluster.invoker.frame_failed(thread, exc)
+
+        def after_object_handler(decision: Decision, value: Any,
+                                 error: BaseException | None) -> None:
+            if decision is Decision.PROPAGATE:
+                self._run_exception_chain(thread, block, chain, 0, exc,
+                                          finish)
+            else:
+                finish(decision, value)
+
+        if obj_handler is not None:
+            # §6.1: the object's handler gets called first, on a surrogate
+            # thread that takes on the suspended thread's attributes.
+            done_fut: SimFuture[Any] = SimFuture(self.cluster.sim)
+            kernel = self.cluster.kernels[frame.node]
+            kernel.objects.run_object_handler(frame.obj, obj_handler, block,
+                                              done_fut)
+            done_fut.add_done_callback(
+                lambda fut: self._surrogate_done(fut, after_object_handler))
+        else:
+            self._run_exception_chain(thread, block, chain, 0, exc, finish)
+
+    def _run_exception_chain(self, thread: DThread, block: EventBlock,
+                             chain: list[HandlerRegistration], index: int,
+                             exc: BaseException, finish) -> None:
+        if index >= len(chain):
+            finish(Decision.PROPAGATE, None)
+            return
+
+        def done(decision: Decision, value: Any,
+                 error: BaseException | None) -> None:
+            if decision is Decision.PROPAGATE:
+                self._run_exception_chain(thread, block, chain, index + 1,
+                                          exc, finish)
+            else:
+                finish(decision, value)
+
+        self._execute_registration(thread, chain[index], block, done)
+
+    # ==================================================================
+    # thread-attribute timers (§6.2) and migration hooks
+    # ==================================================================
+
+    def add_thread_timer(self, thread: DThread, spec: TimerSpec) -> None:
+        thread.attributes.add_timer(spec)
+        if thread.alive:
+            self._arm(thread, spec, thread.current_node)
+
+    def remove_thread_timer(self, thread: DThread, spec_id: int) -> bool:
+        armed = thread.armed_timers.pop(spec_id, None)
+        if armed is not None:
+            node, timer_id = armed
+            self.cluster.kernels[node].timers.cancel(timer_id)
+        return thread.attributes.remove_timer(spec_id)
+
+    def _arm(self, thread: DThread, spec: TimerSpec, node: int) -> None:
+        timer_id = self.cluster.kernels[node].timers.set(
+            spec.interval, self._timer_fired, thread, spec, node,
+            recurring=spec.recurring)
+        thread.armed_timers[spec.spec_id] = (node, timer_id)
+
+    def _timer_fired(self, thread: DThread, spec: TimerSpec,
+                     node: int) -> None:
+        if not thread.alive or thread.current_node != node:
+            return  # stale: the thread moved and was re-armed elsewhere
+        if not spec.recurring:
+            thread.armed_timers.pop(spec.spec_id, None)
+            thread.attributes.remove_timer(spec.spec_id)
+        block = EventBlock(event=spec.event, raiser_tid=None,
+                           raiser_node=node, target=thread.tid,
+                           user_data=spec.user_data,
+                           raised_at=self.cluster.sim.now)
+        self.cluster.tracer.emit("timer", "fire", event=spec.event,
+                                 tid=str(thread.tid), node=node)
+        self.enqueue_for_thread(node, thread.tid, block)
+
+    def thread_entered_node(self, thread: DThread, node: int,
+                            created: bool = False,
+                            returned: bool = False) -> None:
+        """Invocation-engine hook: the thread starts executing on a node.
+
+        Re-creates the thread's event registration (§6.2: timers are
+        re-armed from the attribute list) and maintains the multicast
+        location group (§7.1).
+        """
+        self.cluster.fabric.multicast_groups.join(
+            thread.tid.multicast_group, node)
+        if thread.kind == KIND_USER:
+            for spec in thread.attributes.timers:
+                if spec.spec_id not in thread.armed_timers:
+                    self._arm(thread, spec, node)
+
+    def thread_leaving_node(self, thread: DThread, node: int,
+                            frames_remain: bool) -> None:
+        """The thread's innermost frame is departing ``node``."""
+        for spec_id in list(thread.armed_timers):
+            armed_node, timer_id = thread.armed_timers[spec_id]
+            if armed_node == node:
+                self.cluster.kernels[node].timers.cancel(timer_id)
+                del thread.armed_timers[spec_id]
+
+    def thread_left_for_good(self, thread: DThread, node: int) -> None:
+        """No frames of the thread remain on ``node``."""
+        if node != thread.tid.root:
+            self.cluster.fabric.multicast_groups.leave(
+                thread.tid.multicast_group, node)
+
+    def thread_gone(self, thread: DThread) -> None:
+        """The thread finished or was terminated; final cleanup."""
+        for spec_id in list(thread.armed_timers):
+            node, timer_id = thread.armed_timers.pop(spec_id)
+            self.cluster.kernels[node].timers.cancel(timer_id)
+        self.cluster.fabric.multicast_groups.dissolve(
+            thread.tid.multicast_group)
+        # Notices still queued die with the thread; synchronous raisers
+        # must not hang (§7.2).
+        for block in thread.pending_notices:
+            self._complete_sync(block, None,
+                                DeadThreadError(f"{thread.tid} terminated "
+                                                "before delivery"),
+                                from_node=thread.tid.root)
+        thread.pending_notices.clear()

@@ -1,0 +1,148 @@
+"""Handler descriptors, execution contexts, decisions and chains.
+
+Section 4.1 allows a thread-based handler to be:
+
+* an entry point of the object that attached it (*attaching-object
+  context* — delivery performs an "unscheduled invocation" back to that
+  object, wherever it lives);
+* an entry point of **another** designated object (a *buddy handler*,
+  e.g. a central monitor or debugger server);
+* a procedure in the thread's per-thread memory, executed *in the context
+  of the current object* where the thread happens to be when the event is
+  delivered.
+
+Section 4.2 chains handlers per (thread, event) in LIFO order; a handler
+may propagate the event to the next handler down the chain.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import EventError
+
+
+class HandlerContext(enum.Enum):
+    """Where a thread-based handler executes (§4.1)."""
+
+    #: In the object that attached the handler (unscheduled invocation).
+    ATTACHING = "attaching"
+    #: In whatever object the thread occupies at delivery time; handler is
+    #: a per-thread-memory procedure (``OWN_CONTEXT`` in the paper's §5.2
+    #: example).
+    CURRENT = "current"
+    #: In a designated third object (buddy handler).
+    BUDDY = "buddy"
+
+
+class Decision(enum.Enum):
+    """What a handler decided about the suspended thread."""
+
+    #: Resume the thread where it was suspended.
+    RESUME = "resume"
+    #: Terminate the thread (unwind all activations).
+    TERMINATE = "terminate"
+    #: Pass the event to the next handler down the LIFO chain.
+    PROPAGATE = "propagate"
+
+
+_reg_ids = itertools.count(1)
+
+
+@dataclass
+class HandlerRegistration:
+    """One attached handler for one event on one thread.
+
+    Attributes
+    ----------
+    event:
+        Event name this handler accepts.
+    context:
+        Execution context (see :class:`HandlerContext`).
+    fn_name:
+        For ATTACHING/BUDDY: the handler method name on the target object.
+    target_oid:
+        For ATTACHING: oid of the attaching object; for BUDDY: oid of the
+        buddy object.
+    procedure:
+        For CURRENT: the per-thread-memory procedure key (the actual
+        callable lives in the thread's per-thread memory, which "traverses
+        with the thread", §4.1).
+    attached_in_oid / attached_at_node:
+        Where the attachment happened (diagnostics and tests).
+    """
+
+    event: str
+    context: HandlerContext
+    fn_name: str | None = None
+    target_oid: int | None = None
+    procedure: str | None = None
+    attached_in_oid: int | None = None
+    attached_at_node: int | None = None
+    reg_id: int = field(default_factory=lambda: next(_reg_ids))
+
+    def __post_init__(self) -> None:
+        if self.context is HandlerContext.CURRENT:
+            if not self.procedure:
+                raise EventError(
+                    "CURRENT-context handler needs a per-thread-memory "
+                    "procedure name")
+        else:
+            if self.target_oid is None or not self.fn_name:
+                raise EventError(
+                    f"{self.context.value}-context handler needs a target "
+                    f"object and method name")
+
+
+class HandlerChain:
+    """LIFO chain of handler registrations for one event on one thread."""
+
+    def __init__(self, event: str) -> None:
+        self.event = event
+        self._stack: list[HandlerRegistration] = []
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __iter__(self):
+        """Iterate newest-first (delivery order)."""
+        return reversed(self._stack)
+
+    def push(self, registration: HandlerRegistration) -> None:
+        if registration.event != self.event:
+            raise EventError(
+                f"registration for {registration.event!r} pushed onto "
+                f"chain for {self.event!r}")
+        self._stack.append(registration)
+
+    def pop(self) -> HandlerRegistration:
+        if not self._stack:
+            raise EventError(f"handler chain for {self.event!r} is empty")
+        return self._stack.pop()
+
+    def remove(self, reg_id: int) -> bool:
+        """Detach a specific registration. Returns False if absent."""
+        for i, reg in enumerate(self._stack):
+            if reg.reg_id == reg_id:
+                del self._stack[i]
+                return True
+        return False
+
+    def top(self) -> HandlerRegistration | None:
+        return self._stack[-1] if self._stack else None
+
+    def in_order(self) -> list[HandlerRegistration]:
+        """Delivery order: most recently attached first (§4.2 LIFO)."""
+        return list(reversed(self._stack))
+
+    def copy(self) -> "HandlerChain":
+        """Used when a spawned thread inherits its parent's registry (§6.3)."""
+        clone = HandlerChain(self.event)
+        clone._stack = list(self._stack)
+        return clone
+
+
+HandlerFn = Callable[..., Any]

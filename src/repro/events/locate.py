@@ -1,0 +1,279 @@
+"""Thread-location strategies (§7.1).
+
+"When an event is posted to a thread, the system must track down the
+thread." The paper proposes three strategies, all implemented here behind
+one interface:
+
+* :class:`BroadcastLocator` — "broadcast the event request. When the
+  machine that has the thread active gets the request, it can block the
+  thread [and] run the handler … However, this is communication intensive
+  and wasteful." Every node receives the posted event; non-holders reply
+  not-found so the origin can detect dead threads.
+* :class:`PathLocator` — "follow the path of the thread starting from its
+  root node … using information in the system's thread-control blocks.
+  On a distributed system comprising of n nodes, it is possible to find
+  the thread in n steps." The notice hops along TCB forwarding pointers.
+* :class:`MulticastLocator` — "application's threads can create a
+  multicast group. When a thread leaves the current node and starts
+  executing in another, the thread-management system can join the
+  multicast group" — the notice is multicast to the thread's group and
+  only the node holding the innermost activation accepts it.
+
+Because threads keep moving while notices are in flight, every strategy
+retries a bounded number of times before declaring the thread dead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import KernelError
+from repro.events.block import EventBlock
+from repro.kernel.config import (
+    LOCATE_BROADCAST,
+    LOCATE_MULTICAST,
+    LOCATE_PATH,
+)
+from repro.net.message import Message
+from repro.threads.ids import ThreadId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.events.delivery import EventManager
+
+MSG_PATH_POST = "locate.path"
+MSG_BCAST_POST = "locate.bcast"
+MSG_BCAST_REPLY = "locate.bcast-reply"
+MSG_MCAST_POST = "locate.mcast"
+MSG_MCAST_REPLY = "locate.mcast-reply"
+
+#: Result callback: (delivered, hops) — hops is the count of routing
+#: messages this post consumed (broadcast counts fan-out copies).
+PostResult = Callable[[bool, int], None]
+
+
+class BaseLocator:
+    """Shared plumbing for the three strategies."""
+
+    name = "?"
+
+    def __init__(self, manager: "EventManager") -> None:
+        self.manager = manager
+        self.cluster = manager.cluster
+
+    def post(self, from_node: int, tid: ThreadId, block: EventBlock,
+             on_result: PostResult) -> None:
+        """Route ``block`` to wherever ``tid`` currently executes.
+
+        ``on_result(delivered, hops)`` fires exactly once: with
+        ``delivered=False`` only when the thread cannot be found (dead).
+        """
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------
+
+    def _innermost_here(self, node: int, tid: ThreadId) -> bool:
+        return self.cluster.kernels[node].thread_table.innermost_here(tid)
+
+    def _accept(self, node: int, tid: ThreadId, block: EventBlock) -> bool:
+        """Hand the notice to the thread if its innermost frame is here."""
+        if not self._innermost_here(node, tid):
+            return False
+        return self.manager.enqueue_for_thread(node, tid, block)
+
+    def _retry_later(self, fn: Callable[[], None]) -> None:
+        self.cluster.sim.call_after(
+            self.cluster.config.locate_retry_delay, fn)
+
+
+class PathLocator(BaseLocator):
+    """Walk TCB forwarding pointers from the thread's root node."""
+
+    name = LOCATE_PATH
+
+    def post(self, from_node: int, tid: ThreadId, block: EventBlock,
+             on_result: PostResult) -> None:
+        state = {"hops": 0, "retries": self.cluster.config.locate_retries}
+        self._hop(from_node, tid.root, tid, block, state, on_result)
+
+    def _hop(self, from_node: int, to_node: int, tid: ThreadId,
+             block: EventBlock, state: dict, on_result: PostResult) -> None:
+        if from_node == to_node:
+            self._arrived(to_node, tid, block, state, on_result)
+            return
+        state["hops"] += 1
+        self.cluster.fabric.send(Message(
+            src=from_node, dst=to_node, mtype=MSG_PATH_POST, size=128,
+            payload={"tid": tid, "block": block, "state": state,
+                     "on_result": on_result}))
+
+    def on_message(self, message: Message) -> None:
+        body = message.payload
+        self._arrived(int(message.dst), body["tid"], body["block"],
+                      body["state"], body["on_result"])
+
+    def _arrived(self, node: int, tid: ThreadId, block: EventBlock,
+                 state: dict, on_result: PostResult) -> None:
+        if self._accept(node, tid, block):
+            on_result(True, state["hops"])
+            return
+        tcb = self.cluster.kernels[node].thread_table.get(tid)
+        if tcb is not None and tcb.next_node is not None:
+            self._hop(node, tcb.next_node, tid, block, state, on_result)
+            return
+        # Stale pointer or mid-flight thread: restart from the root a
+        # bounded number of times before giving up.
+        if state["retries"] > 0 and tid in self.cluster.live_threads:
+            state["retries"] -= 1
+            self._retry_later(
+                lambda: self._hop(node, tid.root, tid, block, state,
+                                  on_result))
+            return
+        on_result(False, state["hops"])
+
+
+class BroadcastLocator(BaseLocator):
+    """Broadcast the event request to every node."""
+
+    name = LOCATE_BROADCAST
+
+    def post(self, from_node: int, tid: ThreadId, block: EventBlock,
+             on_result: PostResult) -> None:
+        state = {
+            "hops": 0,
+            "retries": self.cluster.config.locate_retries,
+            "from_node": from_node,
+        }
+        self._round(tid, block, state, on_result)
+
+    def _round(self, tid: ThreadId, block: EventBlock, state: dict,
+               on_result: PostResult) -> None:
+        from_node = state["from_node"]
+        others = [n for n in self.cluster.kernels if n != from_node]
+        if self._accept(from_node, tid, block):
+            on_result(True, state["hops"])
+            return
+        if not others:
+            on_result(False, state["hops"])
+            return
+        pending = {"found": False, "replies": 0, "expected": len(others)}
+        state["hops"] += len(others)
+        for node in others:
+            self.cluster.fabric.send(Message(
+                src=from_node, dst=node, mtype=MSG_BCAST_POST, size=128,
+                payload={"tid": tid, "block": block, "state": state,
+                         "pending": pending, "on_result": on_result}))
+
+    def on_message(self, message: Message) -> None:
+        body = message.payload
+        node = int(message.dst)
+        found = self._accept(node, body["tid"], body["block"])
+        body["state"]["hops"] += 1  # the reply
+        self.cluster.fabric.send(Message(
+            src=node, dst=body["state"]["from_node"],
+            mtype=MSG_BCAST_REPLY, size=64,
+            payload={"found": found, "tid": body["tid"],
+                     "block": body["block"], "state": body["state"],
+                     "pending": body["pending"],
+                     "on_result": body["on_result"]}))
+
+    def on_reply(self, message: Message) -> None:
+        body = message.payload
+        pending, state = body["pending"], body["state"]
+        pending["replies"] += 1
+        if body["found"]:
+            pending["found"] = True
+        if pending["replies"] < pending["expected"]:
+            return
+        if pending["found"]:
+            body["on_result"](True, state["hops"])
+            return
+        tid = body["tid"]
+        if state["retries"] > 0 and tid in self.cluster.live_threads:
+            state["retries"] -= 1
+            self._retry_later(
+                lambda: self._round(tid, body["block"], state,
+                                    body["on_result"]))
+            return
+        body["on_result"](False, state["hops"])
+
+
+class MulticastLocator(BaseLocator):
+    """Multicast the notice to the thread's member-maintained group."""
+
+    name = LOCATE_MULTICAST
+
+    def post(self, from_node: int, tid: ThreadId, block: EventBlock,
+             on_result: PostResult) -> None:
+        state = {
+            "hops": 0,
+            "retries": self.cluster.config.locate_retries,
+            "from_node": from_node,
+        }
+        self._round(tid, block, state, on_result)
+
+    def _round(self, tid: ThreadId, block: EventBlock, state: dict,
+               on_result: PostResult) -> None:
+        from_node = state["from_node"]
+        groups = self.cluster.fabric.multicast_groups
+        members = sorted(groups.members(tid.multicast_group))
+        if from_node in members and self._accept(from_node, tid, block):
+            on_result(True, state["hops"])
+            return
+        targets = [n for n in members if n != from_node]
+        if not targets:
+            self._retry_or_fail(tid, block, state, on_result)
+            return
+        pending = {"found": False, "replies": 0, "expected": len(targets)}
+        state["hops"] += len(targets)
+        for node in targets:
+            self.cluster.fabric.send(Message(
+                src=from_node, dst=node, mtype=MSG_MCAST_POST, size=128,
+                payload={"tid": tid, "block": block, "state": state,
+                         "pending": pending, "on_result": on_result}))
+
+    def _retry_or_fail(self, tid: ThreadId, block: EventBlock, state: dict,
+                       on_result: PostResult) -> None:
+        if state["retries"] > 0 and tid in self.cluster.live_threads:
+            state["retries"] -= 1
+            self._retry_later(
+                lambda: self._round(tid, block, state, on_result))
+            return
+        on_result(False, state["hops"])
+
+    def on_message(self, message: Message) -> None:
+        body = message.payload
+        node = int(message.dst)
+        found = self._accept(node, body["tid"], body["block"])
+        body["state"]["hops"] += 1  # the reply
+        self.cluster.fabric.send(Message(
+            src=node, dst=body["state"]["from_node"],
+            mtype=MSG_MCAST_REPLY, size=64,
+            payload={"found": found, "tid": body["tid"],
+                     "block": body["block"], "state": body["state"],
+                     "pending": body["pending"],
+                     "on_result": body["on_result"]}))
+
+    def on_reply(self, message: Message) -> None:
+        body = message.payload
+        pending, state = body["pending"], body["state"]
+        pending["replies"] += 1
+        if body["found"]:
+            pending["found"] = True
+        if pending["replies"] < pending["expected"]:
+            return
+        if pending["found"]:
+            body["on_result"](True, state["hops"])
+            return
+        self._retry_or_fail(body["tid"], body["block"], state,
+                            body["on_result"])
+
+
+def make_locator(name: str, manager: "EventManager") -> BaseLocator:
+    """Instantiate the configured strategy."""
+    if name == LOCATE_PATH:
+        return PathLocator(manager)
+    if name == LOCATE_BROADCAST:
+        return BroadcastLocator(manager)
+    if name == LOCATE_MULTICAST:
+        return MulticastLocator(manager)
+    raise KernelError(f"unknown locator {name!r}")

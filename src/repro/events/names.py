@@ -1,0 +1,56 @@
+"""Event names.
+
+Section 3 of the paper distinguishes *system events* — predefined, raised
+by the operating system (page faults, alarms, hardware exceptions,
+termination) — from *user events*, which applications register by name
+(COMMIT, SYNCHRONIZE, …) and raise explicitly.
+
+Every cluster's name service is pre-seeded with the system events below;
+user events are added with :func:`repro.events.api.register_event` (or the
+``ctx.register_event`` syscall).
+"""
+
+from __future__ import annotations
+
+# -- system events the paper names explicitly -------------------------------
+
+#: Termination request for a thread / application (§6.3).
+TERMINATE = "TERMINATE"
+#: Group-wide quit raised by the ^C protocol's root handler (§6.3).
+QUIT = "QUIT"
+#: Abort the invocation in progress inside an object (§6.3).
+ABORT = "ABORT"
+#: Periodic alarm (§3, §6.2).
+TIMER = "TIMER"
+#: Page fault on a user-managed segment (§5.2, §6.4).
+VM_FAULT = "VM_FAULT"
+#: Asynchronous user interrupt (§5.2).
+INTERRUPT = "INTERRUPT"
+#: Object deletion notification (§5.1 example).
+DELETE = "DELETE"
+#: Arithmetic hardware exception: "a division by zero in a user program
+#: leads to the raising of a system event" (§3).
+DIV_ZERO = "DIV_ZERO"
+#: Generic hardware exception / memory violation.
+SEGV = "SEGV"
+#: Delivered to the raiser of an asynchronous event whose target thread
+#: "has been destroyed" — §7.2 requires the sender be notified.
+TARGET_DEAD = "TARGET_DEAD"
+
+#: All predefined system events, in a stable order.
+SYSTEM_EVENTS = (
+    TERMINATE, QUIT, ABORT, TIMER, VM_FAULT, INTERRUPT, DELETE,
+    DIV_ZERO, SEGV, TARGET_DEAD,
+)
+
+#: System events every object is expected to accept even with no
+#: user-supplied handler ("all objects have a set of predefined system
+#: events that have defined handlers", §4.3).
+OBJECT_DEFAULT_EVENTS = (ABORT, DELETE)
+
+
+def seed_system_events(names) -> None:
+    """Pre-register all system events in a cluster name service."""
+    for event in SYSTEM_EVENTS:
+        if not names.event_exists(event):
+            names.register_event(event, registrar="kernel", system=True)

@@ -1,0 +1,23 @@
+"""Node kernels, cluster configuration and the cluster builder."""
+
+from repro.kernel.config import (
+    ClusterConfig,
+    LOCATE_BROADCAST,
+    LOCATE_MULTICAST,
+    LOCATE_PATH,
+    OBJ_EVENTS_MASTER,
+    OBJ_EVENTS_PER_EVENT,
+    TRANSPORT_DSM,
+    TRANSPORT_RPC,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "LOCATE_BROADCAST",
+    "LOCATE_MULTICAST",
+    "LOCATE_PATH",
+    "OBJ_EVENTS_MASTER",
+    "OBJ_EVENTS_PER_EVENT",
+    "TRANSPORT_DSM",
+    "TRANSPORT_RPC",
+]

@@ -1,0 +1,218 @@
+"""Cluster builder: the composition root of the simulated DO/CT system.
+
+A :class:`Cluster` assembles the full stack — simulator, fabric, per-node
+kernels, object managers, the invocation engine, the event manager and
+the DSM manager — and offers the high-level API applications, tests and
+benchmarks use: create objects, spawn threads, raise events, run virtual
+time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.errors import KernelError, UnknownThreadError
+from repro.events.delivery import EventManager
+from repro.events.names import seed_system_events
+from repro.kernel.config import ClusterConfig
+from repro.kernel.names import NameService
+from repro.kernel.node import Node
+from repro.net.fabric import Fabric
+from repro.net.faults import FaultPlan
+from repro.net.latency import FixedLatency, LatencyModel
+from repro.objects.capability import Capability
+from repro.objects.invocation import InvocationEngine
+from repro.objects.manager import ObjectManager
+from repro.dsm.manager import DsmManager
+from repro.sim.primitives import SimFuture
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Simulator
+from repro.sim.trace import Tracer
+from repro.threads.attributes import IoChannel, ThreadAttributes
+from repro.threads.groups import GroupRegistry
+from repro.threads.ids import GroupId, IdAllocator, ThreadId
+from repro.threads.thread import DThread
+
+
+class Cluster:
+    """A simulated DO/CT cluster, ready to run applications.
+
+    Example
+    -------
+    >>> from repro import Cluster, ClusterConfig
+    >>> cluster = Cluster(ClusterConfig(n_nodes=2))
+    """
+
+    def __init__(self, config: ClusterConfig | None = None,
+                 latency: LatencyModel | None = None,
+                 faults: FaultPlan | None = None) -> None:
+        self.config = config or ClusterConfig()
+        self.sim = Simulator()
+        self.rng = RngRegistry(self.config.seed)
+        self.tracer = Tracer(self.sim)
+        if not self.config.trace_net:
+            self.tracer.mute("net")
+        self.fabric = Fabric(
+            self.sim,
+            latency or FixedLatency(self.config.link_latency),
+            faults=faults or FaultPlan(self.rng),
+            tracer=self.tracer)
+        self.names = NameService()
+        seed_system_events(self.names)
+        self.groups = GroupRegistry()
+        #: all live logical threads, by tid
+        self.live_threads: dict[ThreadId, DThread] = {}
+        #: global oid -> object map (location transparency for lookups;
+        #: message costs are charged by the engines, not by this map)
+        self.object_directory: dict[int, Any] = {}
+        #: per-cluster oid allocator (keeps runs bit-identical)
+        self.oid_counter = itertools.count(1)
+        self.nodes = [Node(self, i) for i in range(self.config.n_nodes)]
+        self.kernels = {node.node_id: node.kernel for node in self.nodes}
+        for node in self.nodes:
+            node.kernel.id_allocator = IdAllocator(node.node_id)
+            node.kernel.objects = ObjectManager(node.kernel)
+        self.invoker = InvocationEngine(self)
+        self.events = EventManager(self)
+        self.dsm = DsmManager(self)
+        for node in self.nodes:
+            node.kernel.invoker = self.invoker
+            node.kernel.events = self.events
+            node.kernel.dsm = self.dsm
+
+    # ------------------------------------------------------------------
+    # running virtual time
+    # ------------------------------------------------------------------
+
+    def run(self, until: float | None = None,
+            max_events: int | None = 2_000_000) -> None:
+        """Advance virtual time until idle (or ``until``)."""
+        self.sim.run(until=until, max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # ------------------------------------------------------------------
+    # objects
+    # ------------------------------------------------------------------
+
+    def create_object(self, cls: type, *args: Any, node: int = 0,
+                      transport: str | None = None,
+                      name: str | None = None, **kwargs: Any) -> Capability:
+        """Create an object on ``node``; optionally bind it in the name
+        service under ``name``."""
+        kernel = self.kernels.get(node)
+        if kernel is None:
+            raise KernelError(f"no node {node} in this cluster")
+        cap = kernel.objects.create(cls, *args, transport=transport,
+                                    **kwargs)
+        if name is not None:
+            self.names.register(name, cap)
+        return cap
+
+    def find_object(self, oid: int) -> Any:
+        return self.object_directory.get(oid)
+
+    def get_object(self, cap: Capability | int) -> Any:
+        """The live instance behind a capability (for test assertions)."""
+        oid = cap.oid if isinstance(cap, Capability) else cap
+        obj = self.object_directory.get(oid)
+        if obj is None:
+            raise KernelError(f"no object {oid}")
+        return obj
+
+    # ------------------------------------------------------------------
+    # threads and groups
+    # ------------------------------------------------------------------
+
+    def new_group(self, root: int = 0) -> GroupId:
+        gid = self.kernels[root].id_allocator.new_gid()
+        self.groups.create(gid)
+        return gid
+
+    def spawn(self, cap: Capability, entry: str, *args: Any, at: int = 0,
+              group: GroupId | None = None,
+              io_channel: IoChannel | None = None,
+              attributes: ThreadAttributes | None = None) -> DThread:
+        """Start a new application thread rooted at node ``at``.
+
+        The thread invokes ``cap.entry(*args)``; its completion future
+        resolves with the entry's return value.
+        """
+        if attributes is None:
+            attributes = ThreadAttributes(creator="user", group=group,
+                                          io_channel=io_channel)
+        elif group is not None:
+            attributes.group = group
+        thread = self.invoker.spawn_thread(at, cap, entry, args,
+                                           attributes=attributes)
+        if attributes.group is not None:
+            self.groups.add(attributes.group, thread.tid)
+        return thread
+
+    def thread(self, tid: ThreadId) -> DThread:
+        thread = self.live_threads.get(tid)
+        if thread is None:
+            raise UnknownThreadError(f"no live thread {tid}")
+        return thread
+
+    # ------------------------------------------------------------------
+    # events (external raise, e.g. the user's terminal)
+    # ------------------------------------------------------------------
+
+    def raise_event(self, event: str, target: Any, from_node: int = 0,
+                    user_data: Any = None) -> SimFuture[Any]:
+        """Asynchronous external raise; future resolves with recipient
+        count."""
+        return self.events.raise_external(event, target, from_node,
+                                          user_data, synchronous=False)
+
+    def raise_and_wait(self, event: str, target: Any, from_node: int = 0,
+                       user_data: Any = None) -> SimFuture[Any]:
+        """Synchronous external raise; future resolves when a handler
+        resumes the (virtual) raiser, with the handler's value."""
+        return self.events.raise_external(event, target, from_node,
+                                          user_data, synchronous=True)
+
+    def register_event(self, name: str) -> None:
+        """Register a user event name (§3) from outside any thread."""
+        self.names.register_event(name, registrar="external")
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def message_stats(self) -> dict[str, int]:
+        return self.fabric.stats.snapshot()
+
+    def ps(self, kinds: tuple[str, ...] = ("user",)) -> list[dict]:
+        """Snapshot of live threads (like `ps` on the simulated cluster).
+
+        Each row: tid, kind, state, current node, group, call-stack
+        summary (object class / entry per frame).
+        """
+        rows = []
+        for tid in sorted(self.live_threads):
+            thread = self.live_threads[tid]
+            if kinds and thread.kind not in kinds:
+                continue
+            stack = [
+                f"{type(f.obj).__name__ if f.obj is not None else '-'}"
+                f".{f.entry}@{f.node}" for f in thread.frames]
+            rows.append({
+                "tid": str(tid),
+                "kind": thread.kind,
+                "state": thread.state,
+                "node": thread.current_node,
+                "group": str(thread.attributes.group)
+                if thread.attributes.group else None,
+                "stack": stack,
+                "pending_events": len(thread.pending_notices),
+            })
+        return rows
+
+    def quiescent(self) -> bool:
+        """True when no simulation work is scheduled."""
+        return self.sim.pending == 0

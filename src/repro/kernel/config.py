@@ -1,0 +1,117 @@
+"""Cluster-wide configuration.
+
+All timing constants the simulation charges for kernel operations live
+here, so experiments can sweep them (e.g. E3 sweeps
+``thread_create_cost`` to show what the master-handler-thread optimisation
+saves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import KernelError
+
+#: Locator strategy names (section 7.1 of the paper).
+LOCATE_BROADCAST = "broadcast"
+LOCATE_PATH = "path"
+LOCATE_MULTICAST = "multicast"
+LOCATOR_NAMES = (LOCATE_BROADCAST, LOCATE_PATH, LOCATE_MULTICAST)
+
+#: Invocation transports (section 2: "RPC or DSM").
+TRANSPORT_RPC = "rpc"
+TRANSPORT_DSM = "dsm"
+TRANSPORT_NAMES = (TRANSPORT_RPC, TRANSPORT_DSM)
+
+#: Object-event execution modes (section 7: master handler thread vs
+#: creating a thread per event).
+OBJ_EVENTS_MASTER = "master"
+OBJ_EVENTS_PER_EVENT = "per-event"
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs for building a simulated DO/CT cluster.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of nodes in the cluster.
+    seed:
+        Seed for all random streams.
+    link_latency:
+        One-way remote message latency in seconds (fixed model unless a
+        custom model is installed on the fabric afterwards).
+    locator:
+        Thread-location strategy for event posting.
+    default_transport:
+        How invocations reach remote objects by default.
+    object_event_mode:
+        Whether object-based events are served by a per-node master
+        handler thread or by a freshly created thread per event.
+    thread_create_cost:
+        Virtual seconds to create a thread (charged for spawned threads
+        and per-event handler threads).
+    surrogate_cost:
+        Virtual seconds to set up a surrogate thread for a thread-based
+        handler.
+    context_switch_cost:
+        Virtual seconds to suspend/resume a thread at event delivery.
+    attach_cost:
+        Virtual seconds for attach_handler bookkeeping.
+    page_size:
+        Bytes per DSM page.
+    dsm_fields_per_page:
+        How many object fields share one DSM page (false sharing knob).
+    locate_timeout:
+        Virtual seconds a broadcast locate waits before concluding the
+        thread is dead.
+    trace_net:
+        Store per-message trace records (muted for big benchmarks).
+    """
+
+    n_nodes: int = 4
+    seed: int = 0
+    link_latency: float = 1e-3
+    locator: str = LOCATE_PATH
+    default_transport: str = TRANSPORT_RPC
+    object_event_mode: str = OBJ_EVENTS_MASTER
+    thread_create_cost: float = 2e-4
+    surrogate_cost: float = 5e-5
+    context_switch_cost: float = 1e-5
+    attach_cost: float = 1e-6
+    page_size: int = 4096
+    dsm_fields_per_page: int = 1
+    locate_timeout: float = 1.0
+    #: Fail a raise_and_wait raiser after this many virtual seconds if no
+    #: resume arrived (None = wait forever). Guards against message loss.
+    sync_raise_timeout: float | None = None
+    locate_retries: int = 8
+    locate_retry_delay: float = 2e-3
+    #: Post an ABORT event to each object a terminating thread unwinds out
+    #: of, so "all of the objects get a chance to perform appropriate
+    #: cleanup operations" (§6.3).
+    notify_abort_on_unwind: bool = True
+    trace_net: bool = True
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise KernelError(f"cluster needs at least one node, got {self.n_nodes}")
+        if self.locator not in LOCATOR_NAMES:
+            raise KernelError(
+                f"unknown locator {self.locator!r}; choose from {LOCATOR_NAMES}")
+        if self.default_transport not in TRANSPORT_NAMES:
+            raise KernelError(
+                f"unknown transport {self.default_transport!r}; "
+                f"choose from {TRANSPORT_NAMES}")
+        if self.object_event_mode not in (OBJ_EVENTS_MASTER, OBJ_EVENTS_PER_EVENT):
+            raise KernelError(
+                f"unknown object_event_mode {self.object_event_mode!r}")
+        for name in ("link_latency", "thread_create_cost", "surrogate_cost",
+                     "context_switch_cost", "attach_cost", "locate_timeout",
+                     "locate_retry_delay"):
+            if getattr(self, name) < 0:
+                raise KernelError(f"{name} must be non-negative")
+        if self.page_size < 1 or self.dsm_fields_per_page < 1:
+            raise KernelError("page_size and dsm_fields_per_page must be >= 1")

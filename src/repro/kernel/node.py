@@ -1,0 +1,85 @@
+"""A cluster node and its kernel.
+
+The :class:`Kernel` is a thin composition shell: it owns the node-local
+services (RPC endpoint, timer service, thread table) and a message
+dispatch table. Higher layers — the object manager, the invocation
+engine, the event manager, the DSM manager — are attached by the cluster
+builder (:mod:`repro.kernel.boot`) and register their message types here.
+This keeps the kernel package free of upward imports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import KernelError
+from repro.kernel.rpc import MSG_REPLY, MSG_REQUEST, RpcEngine
+from repro.kernel.tcb import ThreadTable
+from repro.kernel.timers import TimerService
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.boot import Cluster
+
+
+class Kernel:
+    """Per-node kernel: local services plus a message dispatch table."""
+
+    def __init__(self, cluster: "Cluster", node_id: int) -> None:
+        self.cluster = cluster
+        self.node_id = node_id
+        self.sim = cluster.sim
+        self.fabric = cluster.fabric
+        self.config = cluster.config
+        self.tracer = cluster.tracer
+        self.rpc = RpcEngine(cluster.sim, cluster.fabric, node_id)
+        self.timers = TimerService(cluster.sim, node_id)
+        self.thread_table = ThreadTable(node_id)
+        # Attached by the cluster builder:
+        self.objects: Any = None   # repro.objects.manager.ObjectManager
+        self.invoker: Any = None   # repro.objects.invocation.InvocationEngine
+        self.events: Any = None    # repro.events.delivery.EventManager
+        self.dsm: Any = None       # repro.dsm.manager.DsmManager
+        self.id_allocator: Any = None  # repro.threads.ids.IdAllocator
+        self._dispatch: dict[str, Callable[[Message], None]] = {
+            MSG_REQUEST: self.rpc.on_request,
+            MSG_REPLY: self.rpc.on_reply,
+        }
+        cluster.fabric.attach(node_id, self.deliver)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostic only
+        return f"<Kernel node={self.node_id}>"
+
+    def register_message_handler(self, mtype: str,
+                                 fn: Callable[[Message], None]) -> None:
+        """Route messages of ``mtype`` arriving at this node to ``fn``."""
+        if mtype in self._dispatch:
+            raise KernelError(
+                f"node {self.node_id}: message type {mtype!r} already handled")
+        self._dispatch[mtype] = fn
+
+    def deliver(self, message: Message) -> None:
+        """Fabric delivery callback: dispatch by message type."""
+        fn = self._dispatch.get(message.mtype)
+        if fn is None:
+            raise KernelError(
+                f"node {self.node_id} received unroutable message "
+                f"type {message.mtype!r}")
+        fn(message)
+
+    def send(self, dst: int, mtype: str, payload: Any = None,
+             size: int = 64) -> None:
+        """Fire-and-forget message to another node."""
+        self.fabric.send(Message(src=self.node_id, dst=dst, mtype=mtype,
+                                 payload=payload, size=size))
+
+
+class Node:
+    """A machine in the simulated cluster."""
+
+    def __init__(self, cluster: "Cluster", node_id: int) -> None:
+        self.node_id = node_id
+        self.kernel = Kernel(cluster, node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostic only
+        return f"<Node {self.node_id}>"

@@ -1,0 +1,145 @@
+"""Request/reply engine between node kernels.
+
+Kernel subsystems (locators, the DSM protocol, TCB cleanup, …) talk to
+their peers on other nodes with a classic correlated request/reply
+exchange on top of the fabric. ``request()`` returns a
+:class:`~repro.sim.primitives.SimFuture` resolved with the peer's answer;
+services are plain callables registered per service name and may answer
+immediately or asynchronously by returning a future themselves.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from repro.errors import RpcError, RpcTimeout
+from repro.net.fabric import Fabric
+from repro.net.message import Message
+from repro.sim.primitives import SimFuture
+from repro.sim.scheduler import Simulator
+
+MSG_REQUEST = "rpc.request"
+MSG_REPLY = "rpc.reply"
+
+ServiceFn = Callable[[Any, Message], Any]
+
+
+class _RemoteFailure:
+    """Wire representation of a service exception."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+class SizedReply:
+    """Wrap a service result to control the reply message's wire size.
+
+    Used by bulk services (DSM page grants) so bandwidth-aware latency
+    models charge for the payload, not a 64-byte control message.
+    """
+
+    __slots__ = ("value", "size")
+
+    def __init__(self, value: Any, size: int) -> None:
+        self.value = value
+        self.size = int(size)
+
+
+class RpcEngine:
+    """Per-node request/reply endpoint.
+
+    One engine lives in each kernel; all engines share the fabric. The
+    engine owns the two message types above — the kernel routes them here.
+    """
+
+    def __init__(self, sim: Simulator, fabric: Fabric, node_id: int) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.node_id = node_id
+        self._services: dict[str, ServiceFn] = {}
+        self._outstanding: dict[int, SimFuture[Any]] = {}
+        self._call_ids = itertools.count(1)
+
+    def serve(self, service: str, fn: ServiceFn) -> None:
+        """Register the handler for ``service`` on this node."""
+        if service in self._services:
+            raise RpcError(f"service {service!r} already registered "
+                           f"on node {self.node_id}")
+        self._services[service] = fn
+
+    def request(self, dst: int, service: str, payload: Any = None,
+                size: int = 64, timeout: float | None = None) -> SimFuture[Any]:
+        """Send a request; the returned future resolves with the reply.
+
+        A service exception on the peer fails the future with that
+        exception. ``timeout`` (virtual seconds) fails it with
+        :class:`RpcTimeout` — used by locators to detect dead threads.
+        """
+        call_id = next(self._call_ids)
+        fut: SimFuture[Any] = SimFuture(self.sim)
+        self._outstanding[call_id] = fut
+        self.fabric.send(Message(
+            src=self.node_id, dst=dst, mtype=MSG_REQUEST, size=size,
+            payload={"call_id": call_id, "service": service,
+                     "payload": payload, "reply_to": self.node_id}))
+        if timeout is not None:
+            def expire() -> None:
+                pending = self._outstanding.pop(call_id, None)
+                if pending is not None and not pending.done:
+                    pending.fail(RpcTimeout(
+                        f"{service} to node {dst} timed out after {timeout}s"))
+            self.sim.call_after(timeout, expire)
+        return fut
+
+    # ------------------------------------------------------------------
+    # message entry points (wired by the kernel's dispatch table)
+    # ------------------------------------------------------------------
+
+    def on_request(self, message: Message) -> None:
+        body = message.payload
+        service = body["service"]
+        fn = self._services.get(service)
+        if fn is None:
+            self._reply(body, _RemoteFailure(
+                RpcError(f"node {self.node_id} has no service {service!r}")))
+            return
+        try:
+            result = fn(body["payload"], message)
+        except BaseException as exc:  # noqa: BLE001 - shipped to caller
+            self._reply(body, _RemoteFailure(exc))
+            return
+        if isinstance(result, SimFuture):
+            result.add_done_callback(
+                lambda fut: self._reply_from_future(body, fut))
+        else:
+            self._reply(body, result)
+
+    def _reply_from_future(self, body: dict, fut: SimFuture[Any]) -> None:
+        try:
+            self._reply(body, fut.result())
+        except BaseException as exc:  # noqa: BLE001
+            self._reply(body, _RemoteFailure(exc))
+
+    def _reply(self, body: dict, result: Any) -> None:
+        size = 64
+        if isinstance(result, SizedReply):
+            size = result.size
+            result = result.value
+        self.fabric.send(Message(
+            src=self.node_id, dst=body["reply_to"], mtype=MSG_REPLY,
+            size=size,
+            payload={"call_id": body["call_id"], "result": result}))
+
+    def on_reply(self, message: Message) -> None:
+        body = message.payload
+        fut = self._outstanding.pop(body["call_id"], None)
+        if fut is None or fut.done:
+            return  # duplicate or post-timeout reply
+        result = body["result"]
+        if isinstance(result, _RemoteFailure):
+            fut.fail(result.error)
+        else:
+            fut.resolve(result)

@@ -1,0 +1,7 @@
+"""Distributed lock management with TERMINATE-chained cleanup (§4.2)."""
+
+from repro.locks.cleanup import CLEANUP_EVENTS, chain_cleanup, chain_unlock, unchain
+from repro.locks.manager import LockManager
+
+__all__ = ["CLEANUP_EVENTS", "LockManager", "chain_cleanup",
+           "chain_unlock", "unchain"]

@@ -1,0 +1,71 @@
+"""Cleanup chaining helpers (§4.2).
+
+``chain_unlock`` is the paper's "unlock routine … chained to the thread's
+TERMINATE handler": a per-thread-memory procedure, closed over the lock
+manager capability and the lock name, attached to the TERMINATE and QUIT
+chains of the acquiring thread. When the thread is terminated by either
+event the procedure releases the lock — from wherever the thread happens
+to be — and *propagates*, letting the rest of the chain (other locks,
+application handlers, the kernel default) run.
+
+The chaining happens *before* the thread can block waiting for the lock,
+closing the window in which a terminated waiter-turned-holder would leak
+it; a cleanup release for a lock the thread never actually held is a
+benign no-op.
+"""
+
+from __future__ import annotations
+
+from repro.events import names as event_names
+from repro.events.handlers import Decision
+
+#: Events whose delivery should trigger lock cleanup. QUIT is included so
+#: the §6.3 group-termination protocol also releases locks.
+CLEANUP_EVENTS = (event_names.TERMINATE, event_names.QUIT)
+
+
+def chain_unlock(ctx, manager_cap, name: str):
+    """Generator helper: chain a release of ``name`` to termination events.
+
+    Use inside an entry point (typically the lock manager's ``acquire``),
+    *before* blocking for the grant::
+
+        chained = yield from chain_unlock(ctx, manager.cap, "accounts")
+
+    Returns ``[(event, reg_id), …]`` so a failed acquisition can
+    :func:`unchain` the registrations again.
+    """
+
+    def unlock_on_termination(hctx, block):
+        # Runs on a surrogate impersonating the dying thread; release
+        # proceeds through the ordinary entry (holder check passes; a
+        # never-granted or already-released lock is a no-op).
+        yield hctx.invoke(manager_cap, "release", name, True)
+        return Decision.PROPAGATE
+
+    unlock_on_termination.__name__ = f"unlock:{name}"
+    chained = []
+    for event in CLEANUP_EVENTS:
+        reg_id = yield ctx.attach_handler(event, unlock_on_termination)
+        chained.append((event, reg_id))
+    return chained
+
+
+def unchain(ctx, chained):
+    """Detach registrations produced by :func:`chain_unlock`."""
+    for event, reg_id in chained:
+        yield ctx.detach_handler(event, reg_id)
+
+
+def chain_cleanup(ctx, procedure, events: tuple[str, ...] = CLEANUP_EVENTS):
+    """Chain an arbitrary cleanup procedure to termination events.
+
+    ``procedure(hctx, block)`` must be a generator; it should return
+    ``Decision.PROPAGATE`` so deeper cleanup handlers and the terminating
+    default still run. Returns ``[(event, reg_id), …]``.
+    """
+    chained = []
+    for event in events:
+        reg_id = yield ctx.attach_handler(event, procedure)
+        chained.append((event, reg_id))
+    return chained

@@ -1,0 +1,196 @@
+"""Distributed lock manager with event-chained cleanup.
+
+"Chaining of handlers is very useful in distributed lock management.
+Every time a thread locks data in an object, the unlock routine for that
+data is chained to the thread's TERMINATE handler. If the threads receive
+a TERMINATE signal, all locked data are unlocked, regardless of their
+location and scope." (§4.2)
+
+:class:`LockManager` is a distributed object; threads invoke ``acquire``/
+``release`` on it (from any node). Each successful acquire chains a
+cleanup procedure onto the acquiring thread's TERMINATE and QUIT handler
+chains; the procedure releases exactly that lock and *propagates*, so the
+rest of the chain (other locks, the application's own handlers, finally
+the kernel default that performs the termination) still runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import LockNotHeldError
+from repro.locks.cleanup import chain_unlock, unchain
+from repro.objects.base import DistObject, entry
+from repro.sim.primitives import SimFuture
+
+
+class _Lock:
+    """State of one named lock inside a manager."""
+
+    __slots__ = ("name", "holder", "count", "waiters")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.holder: Any = None
+        self.count = 0
+        #: (tid, executing DThread, grant future)
+        self.waiters: list[tuple[Any, Any, SimFuture]] = []
+
+
+class LockManager(DistObject):
+    """A central lock service for distributed applications.
+
+    Locks are named, reentrant, FIFO-granted. Holders are identified by
+    thread id — cleanup handlers run on surrogates that impersonate the
+    dying thread, so they release through the ordinary ``release`` path.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._locks: dict[str, _Lock] = {}
+        #: statistics for experiment E4
+        self.acquires = 0
+        self.releases = 0
+        self.cleanup_releases = 0
+
+    def _lock(self, name: str) -> _Lock:
+        lock = self._locks.get(name)
+        if lock is None:
+            lock = _Lock(name)
+            self._locks[name] = lock
+        return lock
+
+    # ------------------------------------------------------------------
+    # entries
+    # ------------------------------------------------------------------
+
+    @entry
+    def acquire(self, ctx, name: str, chain_cleanup: bool = True):
+        """Acquire ``name``, blocking until granted.
+
+        With ``chain_cleanup`` (the default, and the §4.2 behaviour), a
+        release procedure is chained to the thread's TERMINATE/QUIT
+        handlers.
+        """
+        lock = self._lock(name)
+        tid = ctx.tid
+        if lock.holder == tid:
+            lock.count += 1
+            self.acquires += 1
+            return True
+        # Chain the unlock BEFORE we can block: a waiter terminated while
+        # queued (or between grant and return) is still cleaned up.
+        if chain_cleanup:
+            yield from chain_unlock(ctx, self.cap, name)
+        if lock.holder is not None:
+            fut: SimFuture = SimFuture(self._sim(ctx))
+            lock.waiters.append((tid, ctx._thread, fut))
+            yield ctx.wait(fut)
+        lock.holder = tid
+        lock.count = 1
+        self.acquires += 1
+        return True
+
+    @entry
+    def try_acquire(self, ctx, name: str, chain_cleanup: bool = True):
+        """Acquire ``name`` if free; returns False instead of waiting."""
+        lock = self._lock(name)
+        tid = ctx.tid
+        yield ctx.compute(0)
+        if lock.holder == tid:
+            lock.count += 1
+            self.acquires += 1
+            return True
+        if lock.holder is not None:
+            return False
+        if chain_cleanup:
+            chained = yield from chain_unlock(ctx, self.cap, name)
+            # the lock may have been taken while we were chaining
+            if lock.holder is not None and lock.holder != tid:
+                yield from unchain(ctx, chained)
+                return False
+        lock.holder = tid
+        lock.count = 1
+        self.acquires += 1
+        return True
+
+    @entry
+    def release(self, ctx, name: str, cleanup: bool = False):
+        """Release ``name``; the caller (or impersonated thread) must hold
+        it. ``cleanup`` marks releases performed by chained handlers."""
+        lock = self._locks.get(name)
+        tid = ctx.tid
+        yield ctx.compute(0)
+        if lock is None or lock.holder != tid:
+            if cleanup:
+                return False  # already released explicitly: benign
+            raise LockNotHeldError(
+                f"thread {tid} does not hold lock {name!r}")
+        if cleanup:
+            # Termination cleanup unwinds reentrancy entirely: the holder
+            # is dying, partial release would leak the lock.
+            lock.count = 0
+        else:
+            lock.count -= 1
+        if lock.count > 0:
+            return True
+        self.releases += 1
+        if cleanup:
+            self.cleanup_releases += 1
+        self._grant_next(lock)
+        return True
+
+    @entry
+    def holder_of(self, ctx, name: str):
+        yield ctx.compute(0)
+        lock = self._locks.get(name)
+        return lock.holder if lock is not None else None
+
+    @entry
+    def held_locks(self, ctx):
+        yield ctx.compute(0)
+        return sorted(name for name, lock in self._locks.items()
+                      if lock.holder is not None)
+
+    @entry
+    def reap(self, ctx):
+        """Release locks whose holders are no longer alive.
+
+        A safety net for threads that died without receiving TERMINATE
+        (crashes); the paper's cleanup covers only signalled termination.
+        """
+        yield ctx.compute(0)
+        cluster = self._cluster(ctx)
+        reaped = []
+        for name, lock in self._locks.items():
+            if lock.holder is not None and \
+                    lock.holder not in cluster.live_threads:
+                reaped.append(name)
+                lock.count = 0
+                self.releases += 1
+                self._grant_next(lock)
+        return reaped
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _grant_next(self, lock: _Lock) -> None:
+        lock.holder = None
+        lock.count = 0
+        while lock.waiters:
+            tid, thread, fut = lock.waiters.pop(0)
+            if fut.done or thread.dying:
+                continue
+            lock.holder = tid
+            lock.count = 1
+            fut.resolve(True)
+            return
+
+    @staticmethod
+    def _sim(ctx):
+        return ctx._thread.cluster.sim
+
+    @staticmethod
+    def _cluster(ctx):
+        return ctx._thread.cluster

@@ -1,0 +1,6 @@
+"""Distributed liveliness monitoring (§6.2)."""
+
+from repro.monitor.probe import install_monitor
+from repro.monitor.server import MonitorServer, Sample
+
+__all__ = ["MonitorServer", "Sample", "install_monitor"]

@@ -1,0 +1,48 @@
+"""Per-thread monitoring probe (§6.2).
+
+"To monitor the thread, two facilities are required: a periodic timer
+delivered to the thread and a handler to execute when the timer event is
+received. … The handler for the event is a procedure that gets mapped
+into the thread's per-thread memory area. … the handler simply gets the
+suspended thread's state, restarts the thread and sends the information
+to a central monitor."
+
+``install_monitor`` attaches exactly that: a TIMER attribute-timer (so
+the registration is recreated on every node the thread visits) plus a
+CURRENT-context per-thread procedure that samples the suspended thread's
+snapshot and ships it to the server with a fire-and-forget asynchronous
+invocation — the thread restarts without waiting for the report to
+arrive.
+"""
+
+from __future__ import annotations
+
+from repro.events import names as event_names
+from repro.events.handlers import Decision
+
+
+def install_monitor(ctx, server_cap, period: float = 0.05):
+    """Generator helper: start monitoring the current thread.
+
+    Usage inside an entry point::
+
+        yield from install_monitor(ctx, monitor.cap, period=0.1)
+
+    Returns the timer spec id (for ``ctx.cancel_timer``).
+    """
+
+    def monitor_probe(hctx, block):
+        snapshot = block.snapshot
+        pc = snapshot.program_counter if snapshot is not None else None
+        oid, entry_name, steps = pc if pc is not None else (-1, "?", -1)
+        # Fire-and-forget: the report travels on its own thread so the
+        # monitored thread restarts immediately.
+        yield hctx.invoke_async(server_cap, "report", hctx.tid,
+                                hctx.node, oid, entry_name, steps,
+                                claimable=False)
+        return Decision.RESUME
+
+    yield ctx.attach_handler(event_names.TIMER, monitor_probe)
+    spec_id = yield ctx.set_timer(period, event=event_names.TIMER,
+                                  recurring=True)
+    return spec_id

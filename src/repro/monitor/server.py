@@ -1,0 +1,137 @@
+"""Central monitor server (§6.2).
+
+Receives periodic liveliness samples — current object, "program counter"
+(frame step count), node — from monitored threads and keeps a per-thread
+history. A real system would join these against symbol tables; here the
+samples carry structured frame info directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.objects.base import DistObject, entry
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One liveliness report from a monitored thread."""
+
+    time: float
+    tid: str
+    node: int
+    oid: int
+    entry: str
+    steps: int
+
+
+class MonitorServer(DistObject):
+    """Collects samples; offers liveliness queries."""
+
+    def __init__(self, stale_after: float = 1.0):
+        super().__init__()
+        self.stale_after = stale_after
+        self.samples: dict[str, list[Sample]] = {}
+
+    @entry
+    def report(self, ctx, tid, node, oid, entry_name, steps):
+        """One sample from a monitored thread (sent by its TIMER handler)."""
+        yield ctx.compute(1e-6)
+        sample = Sample(time=ctx.now, tid=str(tid), node=node, oid=oid,
+                        entry=entry_name, steps=steps)
+        self.samples.setdefault(sample.tid, []).append(sample)
+
+    @entry
+    def history(self, ctx, tid):
+        yield ctx.compute(0)
+        return list(self.samples.get(str(tid), []))
+
+    @entry
+    def liveliness(self, ctx):
+        """tid -> (last sample age, stale?) for every monitored thread."""
+        yield ctx.compute(0)
+        now = ctx.now
+        report = {}
+        for tid, samples in self.samples.items():
+            age = now - samples[-1].time
+            report[tid] = {"age": age, "stale": age > self.stale_after,
+                           "samples": len(samples),
+                           "last_node": samples[-1].node}
+        return report
+
+    @entry
+    def start_watchdog(self, ctx, period: float = 0.5,
+                       action: str = "TERMINATE"):
+        """Kill (or signal) monitored threads that have gone silent.
+
+        Spawns an internal sweep thread on the server's node that raises
+        ``action`` at every monitored thread whose last sample is older
+        than ``stale_after`` — liveliness monitoring (§6.2) promoted to
+        enforcement. Returns the sweeper's thread id.
+        """
+        handle = yield ctx.invoke_async(self.cap, "_watch_loop", period,
+                                        action, claimable=False)
+        self._watchdog_tid = handle.tid
+        return handle.tid
+
+    @entry
+    def stop_watchdog(self, ctx):
+        yield ctx.compute(0)
+        tid = getattr(self, "_watchdog_tid", None)
+        if tid is None:
+            return False
+        thread = ctx._thread.cluster.live_threads.get(tid)
+        if thread is not None:
+            ctx._thread.cluster.invoker.terminate_thread(
+                thread, reason="watchdog stopped")
+        self._watchdog_tid = None
+        return True
+
+    @entry
+    def _watch_loop(self, ctx, period, action):
+        cluster = ctx._thread.cluster
+        signalled: set[str] = set()
+        while True:
+            yield ctx.sleep(period)
+            now = ctx.now
+            for tid_str, samples in self.samples.items():
+                if tid_str in signalled:
+                    continue
+                if not self._is_stalled(samples, now):
+                    continue
+                from repro.threads.ids import ThreadId
+
+                tid = ThreadId.parse(tid_str)
+                if tid not in cluster.live_threads:
+                    continue  # finished normally; nothing to enforce
+                signalled.add(tid_str)
+                yield ctx.raise_event(action, tid)
+
+    def _is_stalled(self, samples, now: float) -> bool:
+        """Liveliness test: silent, or reporting without progressing.
+
+        A blocked thread still answers TIMER events (delivery works while
+        blocked), so staleness alone is not enough — the "program
+        counter" must have moved over a ``stale_after`` window.
+        """
+        if now - samples[-1].time > self.stale_after:
+            return True  # not even reporting: timers gone with the thread
+        window = [s for s in samples
+                  if s.time >= now - 2 * self.stale_after]
+        if len(window) < 3:
+            return False
+        span = window[-1].time - window[0].time
+        if span < self.stale_after:
+            return False  # burst delivery after a long compute: not stall
+        return len({(s.oid, s.entry, s.steps) for s in window}) == 1
+
+    @entry
+    def progressing(self, ctx, tid):
+        """True if the thread's program counter advanced between the last
+        two samples (liveliness in the §6.2 sense)."""
+        yield ctx.compute(0)
+        samples = self.samples.get(str(tid), [])
+        if len(samples) < 2:
+            return None
+        a, b = samples[-2], samples[-1]
+        return (b.oid, b.entry, b.steps) != (a.oid, a.entry, a.steps)

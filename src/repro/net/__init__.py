@@ -1,0 +1,39 @@
+"""Simulated message fabric: links, latency, multicast, faults, stats."""
+
+from repro.net.fabric import Fabric
+from repro.net.faults import FaultPlan
+from repro.net.latency import (
+    BandwidthLatency,
+    FixedLatency,
+    LatencyModel,
+    LognormalLatency,
+    MatrixLatency,
+    UniformLatency,
+)
+from repro.net.message import (
+    BROADCAST,
+    Message,
+    is_multicast,
+    multicast_address,
+    multicast_group,
+)
+from repro.net.multicast import MulticastRegistry
+from repro.net.stats import TrafficStats
+
+__all__ = [
+    "BROADCAST",
+    "BandwidthLatency",
+    "Fabric",
+    "FaultPlan",
+    "FixedLatency",
+    "LatencyModel",
+    "LognormalLatency",
+    "MatrixLatency",
+    "Message",
+    "MulticastRegistry",
+    "TrafficStats",
+    "UniformLatency",
+    "is_multicast",
+    "multicast_address",
+    "multicast_group",
+]

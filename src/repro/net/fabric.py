@@ -1,0 +1,165 @@
+"""The message fabric connecting simulated nodes.
+
+The fabric is the cluster's network: nodes register a delivery callback,
+and anything in the system sends :class:`~repro.net.message.Message`
+envelopes through :meth:`Fabric.send`, :meth:`Fabric.broadcast` or
+:meth:`Fabric.multicast`. Delivery is asynchronous in virtual time, with
+the delay chosen by a pluggable latency model and delivery fate decided by
+a fault plan. All traffic is counted and traced.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from repro.errors import NetworkError, UnknownNodeError
+from repro.net.faults import FaultPlan
+from repro.net.latency import FixedLatency, LatencyModel
+from repro.net.message import (
+    BROADCAST,
+    Message,
+    is_multicast,
+    multicast_address,
+    multicast_group,
+)
+from repro.net.multicast import MulticastRegistry
+from repro.net.stats import TrafficStats
+from repro.sim.scheduler import Simulator
+from repro.sim.trace import Tracer
+
+DeliveryFn = Callable[[Message], None]
+
+
+class Fabric:
+    """A simulated network of point-to-point links plus group delivery.
+
+    Parameters
+    ----------
+    sim:
+        Simulator providing virtual time.
+    latency:
+        Latency model (defaults to 1 ms fixed).
+    faults:
+        Fault plan (defaults to no faults).
+    tracer:
+        Optional structured tracer; send/deliver/drop records are emitted
+        under the ``net`` category.
+    """
+
+    def __init__(self, sim: Simulator, latency: LatencyModel | None = None,
+                 faults: FaultPlan | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.sim = sim
+        self.latency = latency or FixedLatency()
+        self.faults = faults or FaultPlan()
+        self.tracer = tracer
+        self.stats = TrafficStats()
+        self.multicast_groups = MulticastRegistry()
+        self._endpoints: dict[int, DeliveryFn] = {}
+        # per-fabric message ids keep traces deterministic across runs
+        self._msg_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    def attach(self, node_id: int, deliver: DeliveryFn) -> None:
+        """Register a node's delivery callback."""
+        if node_id in self._endpoints:
+            raise NetworkError(f"node {node_id} already attached")
+        self._endpoints[node_id] = deliver
+
+    def detach(self, node_id: int) -> None:
+        self._endpoints.pop(node_id, None)
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._endpoints)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._endpoints
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Send a point-to-point message (asynchronously, in virtual time)."""
+        dst = message.dst
+        if dst == BROADCAST:
+            self._fan_out(message, [n for n in self.node_ids
+                                    if n != message.src], "broadcast")
+            return
+        if is_multicast(dst):
+            group = multicast_group(dst)
+            members = self.multicast_groups.members(group)
+            self._fan_out(message, sorted(members), "multicast")
+            return
+        if dst not in self._endpoints:
+            raise UnknownNodeError(f"no node {dst!r} attached to fabric")
+        self._transmit(message, int(dst))
+
+    def broadcast(self, src: int, mtype: str, payload: Any = None,
+                  size: int = 64) -> int:
+        """Send to every node except the sender; returns copies sent."""
+        targets = [n for n in self.node_ids if n != src]
+        self._fan_out(Message(src=src, dst=BROADCAST, mtype=mtype,
+                              payload=payload, size=size), targets,
+                      "broadcast")
+        return len(targets)
+
+    def multicast(self, src: int, group: str, mtype: str, payload: Any = None,
+                  size: int = 64) -> int:
+        """Send to every current member of ``group``; returns copies sent."""
+        members = sorted(self.multicast_groups.members(group))
+        self._fan_out(Message(src=src, dst=multicast_address(group),
+                              mtype=mtype, payload=payload, size=size),
+                      members, "multicast")
+        return len(members)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _fan_out(self, template: Message, targets: list[int],
+                 kind: str) -> None:
+        if self.tracer is not None:
+            self.tracer.emit("net", kind, src=template.src,
+                             mtype=template.mtype, fanout=len(targets))
+        for node_id in targets:
+            copy = Message(src=template.src, dst=node_id,
+                           mtype=template.mtype, payload=template.payload,
+                           size=template.size)
+            self._transmit(copy, node_id)
+
+    def _transmit(self, message: Message, dst: int) -> None:
+        message.msg_id = next(self._msg_ids)
+        self.stats.record_send(message.src, message.mtype, message.size)
+        if self.tracer is not None:
+            self.tracer.emit("net", "send", src=message.src, dst=dst,
+                             mtype=message.mtype, msg_id=message.msg_id)
+        copies = self.faults.copies(message)
+        if copies == 0:
+            self.stats.record_drop()
+            if self.tracer is not None:
+                self.tracer.emit("net", "drop", src=message.src, dst=dst,
+                                 mtype=message.mtype, msg_id=message.msg_id)
+            return
+        for _ in range(copies):
+            delay = self.latency.delay(message.src, dst, message)
+            self.sim.call_after(delay, self._deliver, message, dst)
+
+    def _deliver(self, message: Message, dst: int) -> None:
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None:
+            # Node detached while the message was in flight; the paper's
+            # model treats this as a silent loss (fault tolerance is out
+            # of scope, section 7.2).
+            self.stats.record_drop()
+            return
+        self.stats.record_delivery(message.src, dst)
+        if self.tracer is not None:
+            self.tracer.emit("net", "deliver", src=message.src, dst=dst,
+                             mtype=message.mtype, msg_id=message.msg_id)
+        endpoint(message)

@@ -1,0 +1,74 @@
+"""Fault injection for the message fabric.
+
+The paper's facility must behave sensibly in the presence of lost messages
+and partitioned nodes (the "unexpected occurrences [that] are far more
+probable than in centralized systems", section 1). The :class:`FaultPlan`
+decides, per message, whether it is delivered, dropped, or duplicated.
+"""
+
+from __future__ import annotations
+
+from repro.net.message import Message
+from repro.sim.rng import RngRegistry
+
+
+class FaultPlan:
+    """Probabilistic drops/duplicates plus explicit partitions.
+
+    Parameters
+    ----------
+    rng:
+        Registry supplying the ``faults`` stream.
+    drop_rate:
+        Probability a remote message is silently dropped.
+    duplicate_rate:
+        Probability a remote message is delivered twice.
+
+    Partitions are symmetric sets of node pairs that cannot exchange
+    messages; :meth:`partition` and :meth:`heal` manage them explicitly
+    for targeted tests.
+    """
+
+    def __init__(self, rng: RngRegistry | None = None, drop_rate: float = 0.0,
+                 duplicate_rate: float = 0.0) -> None:
+        self._stream = (rng or RngRegistry(0)).stream("faults")
+        self.drop_rate = float(drop_rate)
+        self.duplicate_rate = float(duplicate_rate)
+        self._cut_pairs: set[frozenset[int]] = set()
+        self.dropped = 0
+        self.duplicated = 0
+
+    def partition(self, side_a: set[int] | list[int],
+                  side_b: set[int] | list[int]) -> None:
+        """Cut all links between the two node sets."""
+        for a in side_a:
+            for b in side_b:
+                if a != b:
+                    self._cut_pairs.add(frozenset((a, b)))
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._cut_pairs.clear()
+
+    def is_cut(self, src: int, dst: int) -> bool:
+        return frozenset((src, dst)) in self._cut_pairs
+
+    def copies(self, message: Message) -> int:
+        """How many copies of this message to deliver (0 = dropped).
+
+        Node-local messages are never dropped or duplicated.
+        """
+        src, dst = message.src, message.dst
+        if isinstance(dst, int):
+            if src == dst:
+                return 1
+            if self.is_cut(src, dst):
+                self.dropped += 1
+                return 0
+        if self.drop_rate and self._stream.random() < self.drop_rate:
+            self.dropped += 1
+            return 0
+        if self.duplicate_rate and self._stream.random() < self.duplicate_rate:
+            self.duplicated += 1
+            return 2
+        return 1

@@ -1,0 +1,73 @@
+"""Message envelope used by the simulated fabric.
+
+All inter-kernel communication — invocation requests, event notices, page
+transfers, locate probes — travels as :class:`Message` envelopes. The
+``mtype`` string doubles as the key for per-type statistics, so every
+subsystem defines its message types as module-level constants (see e.g.
+:mod:`repro.kernel.rpc`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """An envelope in flight between two nodes.
+
+    Attributes
+    ----------
+    src, dst:
+        Node ids. ``dst`` may be :data:`BROADCAST` or a multicast group
+        name prefixed with ``mcast:`` when sent through the fabric's
+        broadcast/multicast entry points.
+    mtype:
+        Message type tag (e.g. ``"rpc.request"``, ``"event.post"``).
+    payload:
+        Arbitrary structured content. The fabric never inspects it.
+    size:
+        Nominal size in bytes; used by bandwidth-aware latency models and
+        traffic statistics. Defaults to 64 (a small control message).
+    msg_id:
+        Unique id assigned at construction, useful for request/reply
+        correlation and trace matching.
+    """
+
+    src: int
+    dst: int | str
+    mtype: str
+    payload: Any = None
+    size: int = 64
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+
+    def reply_envelope(self, mtype: str, payload: Any = None,
+                       size: int = 64) -> "Message":
+        """Build a response envelope going back to the sender."""
+        if not isinstance(self.src, int):
+            raise ValueError(f"cannot reply to non-node source {self.src!r}")
+        return Message(src=int(self.dst) if isinstance(self.dst, int) else -1,
+                       dst=self.src, mtype=mtype, payload=payload, size=size)
+
+
+BROADCAST = "*"
+
+
+def multicast_address(group: str) -> str:
+    """Fabric address for a multicast group."""
+    return f"mcast:{group}"
+
+
+def is_multicast(dst: int | str) -> bool:
+    return isinstance(dst, str) and dst.startswith("mcast:")
+
+
+def multicast_group(dst: str) -> str:
+    """Extract the group name from a multicast address."""
+    if not is_multicast(dst):
+        raise ValueError(f"{dst!r} is not a multicast address")
+    return dst[len("mcast:"):]

@@ -1,0 +1,63 @@
+"""Traffic statistics for the message fabric.
+
+Benchmarks E2 (thread location) and E5 (distributed ^C) report message
+counts per type, which is the quantity the paper argues about when it
+calls broadcast location "communication intensive and wasteful" (§7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrafficStats:
+    """Counters over everything a fabric has carried."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    bytes_sent: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+    by_link: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def record_send(self, src: int, mtype: str, size: int) -> None:
+        self.sent += 1
+        self.bytes_sent += size
+        self.by_type[mtype] = self.by_type.get(mtype, 0) + 1
+
+    def record_delivery(self, src: int, dst: int) -> None:
+        self.delivered += 1
+        key = (src, dst)
+        self.by_link[key] = self.by_link.get(key, 0) + 1
+
+    def record_drop(self) -> None:
+        self.dropped += 1
+
+    def count(self, mtype: str) -> int:
+        """Messages sent with the given type tag."""
+        return self.by_type.get(mtype, 0)
+
+    def count_prefix(self, prefix: str) -> int:
+        """Messages sent whose type starts with ``prefix``."""
+        return sum(n for t, n in self.by_type.items() if t.startswith(prefix))
+
+    def snapshot(self) -> dict[str, int]:
+        """Immutable summary, convenient for before/after deltas."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "bytes_sent": self.bytes_sent,
+            **{f"type:{t}": n for t, n in sorted(self.by_type.items())},
+        }
+
+    def delta_since(self, snapshot: dict[str, int]) -> dict[str, int]:
+        now = self.snapshot()
+        keys = set(now) | set(snapshot)
+        return {k: now.get(k, 0) - snapshot.get(k, 0) for k in sorted(keys)}
+
+    def reset(self) -> None:
+        self.sent = self.delivered = self.dropped = self.bytes_sent = 0
+        self.by_type.clear()
+        self.by_link.clear()

@@ -1,0 +1,14 @@
+"""Passive distributed objects: base class, capabilities, invocation."""
+
+from repro.objects.base import DistObject, entry, handler_entry, on_event
+from repro.objects.capability import Capability
+from repro.objects.perthread import PerThreadMemory
+
+__all__ = [
+    "Capability",
+    "DistObject",
+    "PerThreadMemory",
+    "entry",
+    "handler_entry",
+    "on_event",
+]

@@ -1,0 +1,32 @@
+"""Object capabilities.
+
+A capability is a location-transparent reference to a distributed object:
+it names the object (oid), remembers the object's home node (where its
+state lives and where RPC-transport invocations execute) and the transport
+used to invoke it. Capabilities are small, copyable, and safe to pass in
+messages and event blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.config import TRANSPORT_NAMES
+from repro.errors import ObjectError
+
+
+@dataclass(frozen=True, order=True)
+class Capability:
+    """Reference to a distributed object."""
+
+    oid: int
+    home: int
+    transport: str
+    cls_name: str = "?"
+
+    def __post_init__(self) -> None:
+        if self.transport not in TRANSPORT_NAMES:
+            raise ObjectError(f"unknown transport {self.transport!r}")
+
+    def __str__(self) -> str:
+        return f"O{self.oid}@{self.home}/{self.transport}"

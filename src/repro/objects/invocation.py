@@ -1,0 +1,510 @@
+"""The invocation engine: how logical threads cross object boundaries.
+
+In the passive-object paradigm "when an object invokes another, the same
+logical thread is used to execute the code in the called object" (§2).
+Under the **RPC transport** this engine ships the thread — attributes and
+all — to the callee's home node, maintaining the per-node TCB forwarding
+chain the path locator walks; under the **DSM transport** the entry runs
+on the caller's node and the object's pages are faulted in on access.
+
+The engine also owns thread lifecycle bookkeeping that is inseparable
+from migration: spawning (asynchronous invocations, §5.3/§7.1), normal
+completion, exception propagation across frames, invocation aborts, and
+terminate-time unwinding with per-object ABORT notification (§6.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import (
+    InvocationAborted,
+    ObjectError,
+    ThreadTerminated,
+    UnknownObjectError,
+)
+from repro.kernel.config import TRANSPORT_DSM
+from repro.net.message import Message
+from repro.objects.capability import Capability
+from repro.threads import syscalls as sc
+from repro.threads.attributes import ThreadAttributes
+from repro.threads.thread import (
+    Activation,
+    DThread,
+    KIND_USER,
+    RUNNING,
+    TERMINATED,
+    TERMINATING,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.boot import Cluster
+
+MSG_INVOKE = "invoke.request"
+MSG_REPLY = "invoke.reply"
+MSG_UNWIND = "thread.unwind"
+MSG_COMPLETE = "thread.complete"
+
+SVC_CREATE_OBJECT = "obj.create"
+
+
+class InvocationEngine:
+    """Cluster-wide engine driving invocations and thread lifecycle."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        for kernel in cluster.kernels.values():
+            kernel.register_message_handler(MSG_INVOKE, self._on_invoke)
+            kernel.register_message_handler(MSG_REPLY, self._on_reply)
+            kernel.register_message_handler(MSG_UNWIND, self._on_unwind)
+            kernel.register_message_handler(MSG_COMPLETE, self._on_complete)
+            kernel.rpc.serve(SVC_CREATE_OBJECT, self._svc_create_object)
+
+    # ------------------------------------------------------------------
+    # thread creation
+    # ------------------------------------------------------------------
+
+    def spawn_thread(self, root_node: int, cap: Capability, entry: str,
+                     args: tuple = (),
+                     attributes: ThreadAttributes | None = None,
+                     kind: str = KIND_USER,
+                     charge_create: bool = True) -> DThread:
+        """Create a thread rooted at ``root_node`` invoking ``cap.entry``.
+
+        The root TCB is installed immediately (the thread is findable from
+        its root from birth, §7.1); the initial invocation begins after
+        the configured thread-creation cost.
+        """
+        cluster = self.cluster
+        kernel = cluster.kernels[root_node]
+        tid = kernel.id_allocator.new_tid()
+        thread = DThread(cluster, tid,
+                         attributes or ThreadAttributes(), kind=kind)
+        cluster.live_threads[tid] = thread
+        kernel.thread_table.thread_arrived(tid)
+        cluster.events.thread_entered_node(thread, root_node, created=True)
+        cluster.tracer.emit("thread", "create", tid=str(tid), node=root_node,
+                            kind=kind, entry=entry)
+        delay = cluster.config.thread_create_cost if charge_create else 0.0
+        cluster.sim.call_after(delay, self._first_invoke, thread, cap,
+                               entry, args)
+        return thread
+
+    def _first_invoke(self, thread: DThread, cap: Capability, entry: str,
+                      args: tuple) -> None:
+        if not thread.alive:
+            return
+        thread.state = RUNNING
+        self.invoke(thread, sc.Invoke(cap=cap, entry=entry, args=args))
+
+    def adopt_loop_thread(self, node: int, gen_fn: Any, name: str,
+                          kind: str, *gen_args: Any,
+                          attributes: ThreadAttributes | None = None,
+                          impersonate: Any = None) -> DThread:
+        """Create a thread running a bare generator frame on ``node``.
+
+        Used for kernel service threads (the master handler thread of §7)
+        and for surrogate threads, which "take on the attributes of the
+        suspended thread" (§6.1) via the ``attributes`` argument.
+        """
+        cluster = self.cluster
+        kernel = cluster.kernels[node]
+        tid = kernel.id_allocator.new_tid()
+        thread = DThread(cluster, tid, attributes or ThreadAttributes(),
+                         kind=kind)
+        thread.impersonates = impersonate
+        cluster.live_threads[tid] = thread
+        kernel.thread_table.thread_arrived(tid)
+        cluster.events.thread_entered_node(thread, node, created=True)
+        act = Activation(obj=None, entry=name, gen=None, node=node)
+        thread.push_frame(act)
+        act.gen = gen_fn(act.ctx, *gen_args)
+        cluster.tracer.emit("thread", "create", tid=str(tid), node=node,
+                            kind=kind, entry=name)
+        thread.schedule_step(None, None)
+        return thread
+
+    # ------------------------------------------------------------------
+    # synchronous invocation
+    # ------------------------------------------------------------------
+
+    def invoke(self, thread: DThread, syscall: sc.Invoke) -> None:
+        cap = syscall.cap
+        here = thread.current_node
+        obj = self.cluster.find_object(cap.oid)
+        if obj is None:
+            thread.schedule_step(None, UnknownObjectError(
+                f"no object with oid {cap.oid} (capability {cap})"))
+            return
+        if cap.transport == TRANSPORT_DSM:
+            # The thread stays put; the object's state pages will be
+            # faulted to this node on access.
+            self._enter_local(thread, obj, syscall, node=here)
+        elif cap.home == here:
+            self._enter_local(thread, obj, syscall, node=here)
+        else:
+            self._migrate_out(thread, obj, syscall, src=here, dst=cap.home)
+
+    def _make_activation(self, thread: DThread, obj: Any,
+                         syscall: sc.Invoke, node: int, is_remote: bool,
+                         caller_node: int | None) -> Activation | None:
+        """Push a frame and instantiate its generator; None on failure."""
+        act = Activation(obj=obj, entry=syscall.entry, gen=None, node=node,
+                         is_remote=is_remote, caller_node=caller_node,
+                         event_block=syscall.handler_block)
+        thread.push_frame(act)
+        try:
+            if syscall.as_handler:
+                fn = obj.handler_fn(syscall.entry)
+            else:
+                fn = obj.entry_fn(syscall.entry)
+            act.gen = fn(act.ctx, *syscall.args)
+        except BaseException as exc:  # noqa: BLE001 - bad entry/arity
+            thread.pop_frame()
+            self._resume_or_fail_frame(thread, None, exc, is_remote,
+                                       node, caller_node)
+            return None
+        self.cluster.tracer.emit(
+            "invoke", "remote" if is_remote else "local", tid=str(thread.tid),
+            oid=obj.oid, entry=syscall.entry, node=node)
+        return act
+
+    def _enter_local(self, thread: DThread, obj: Any, syscall: sc.Invoke,
+                     node: int) -> None:
+        act = self._make_activation(thread, obj, syscall, node,
+                                    is_remote=False, caller_node=None)
+        if act is not None:
+            thread.schedule_step(None, None)
+
+    def _migrate_out(self, thread: DThread, obj: Any, syscall: sc.Invoke,
+                     src: int, dst: int) -> None:
+        cluster = self.cluster
+        cluster.events.thread_leaving_node(thread, src, frames_remain=True)
+        cluster.kernels[src].thread_table.thread_departed(thread.tid, dst)
+        thread.state = RUNNING  # continuation arrives with the message
+        cluster.tracer.emit("thread", "migrate", tid=str(thread.tid),
+                            src=src, dst=dst, oid=obj.oid,
+                            entry=syscall.entry)
+        size = 256 + thread.attributes.nominal_size
+        cluster.fabric.send(Message(
+            src=src, dst=dst, mtype=MSG_INVOKE, size=size,
+            payload={"thread": thread, "obj": obj, "syscall": syscall,
+                     "caller_node": src}))
+
+    def _on_invoke(self, message: Message) -> None:
+        body = message.payload
+        thread: DThread = body["thread"]
+        node = int(message.dst)
+        if not thread.alive or thread.state == TERMINATING:
+            return  # terminated while the request was in flight
+        thread.cluster.kernels[node].thread_table.thread_arrived(thread.tid)
+        self.cluster.events.thread_entered_node(thread, node)
+        act = self._make_activation(thread, body["obj"], body["syscall"],
+                                    node, is_remote=True,
+                                    caller_node=body["caller_node"])
+        if act is not None:
+            thread.schedule_step(None, None)
+
+    # ------------------------------------------------------------------
+    # returns and exception propagation
+    # ------------------------------------------------------------------
+
+    def frame_returned(self, thread: DThread, value: Any) -> None:
+        self._leave_frame(thread, value, None)
+
+    def frame_failed(self, thread: DThread, error: BaseException) -> None:
+        self._leave_frame(thread, None, error)
+
+    def _leave_frame(self, thread: DThread, value: Any,
+                     error: BaseException | None) -> None:
+        frame = thread.pop_frame()
+        self.cluster.tracer.emit(
+            "invoke", "return" if error is None else "raise",
+            tid=str(thread.tid), entry=frame.entry, node=frame.node,
+            oid=frame.obj.oid if frame.obj is not None else -1)
+        if not thread.frames:
+            self._complete_thread(thread, frame.node, value, error)
+            return
+        self._resume_or_fail_frame(thread, value, error, frame.is_remote,
+                                   frame.node, frame.caller_node)
+
+    def _resume_or_fail_frame(self, thread: DThread, value: Any,
+                              error: BaseException | None, was_remote: bool,
+                              from_node: int,
+                              caller_node: int | None) -> None:
+        if not was_remote or caller_node is None or caller_node == from_node:
+            thread.schedule_step(value, error)
+            return
+        cluster = self.cluster
+        cluster.events.thread_leaving_node(
+            thread, from_node,
+            frames_remain=self._frames_remain(thread, from_node))
+        remaining = cluster.kernels[from_node].thread_table.frame_popped(
+            thread.tid)
+        if remaining is None:
+            cluster.events.thread_left_for_good(thread, from_node)
+        cluster.fabric.send(Message(
+            src=from_node, dst=caller_node, mtype=MSG_REPLY, size=128,
+            payload={"thread": thread, "value": value, "error": error}))
+
+    def _frames_remain(self, thread: DThread, node: int) -> bool:
+        return any(f.node == node for f in thread.frames)
+
+    def _on_reply(self, message: Message) -> None:
+        body = message.payload
+        thread: DThread = body["thread"]
+        node = int(message.dst)
+        if not thread.alive or thread.state == TERMINATING:
+            return
+        thread.cluster.kernels[node].thread_table.thread_returned_here(
+            thread.tid)
+        self.cluster.events.thread_entered_node(thread, node, returned=True)
+        thread.schedule_step(body["value"], body["error"])
+
+    def thread_result_with_no_frames(self, thread: DThread, value: Any,
+                                     error: BaseException | None) -> None:
+        """Driver callback: a continuation arrived but no activation exists
+        (the thread's first invocation failed to start)."""
+        self._complete_thread(thread, thread.current_node, value, error)
+
+    def _complete_thread(self, thread: DThread, last_node: int, value: Any,
+                         error: BaseException | None) -> None:
+        """The outermost frame finished; clean up back at the root."""
+        cluster = self.cluster
+        cluster.events.thread_leaving_node(thread, last_node,
+                                           frames_remain=False)
+        root = thread.tid.root
+        if last_node != root:
+            kernel = cluster.kernels[last_node]
+            if thread.tid in kernel.thread_table:
+                kernel.thread_table.frame_popped(thread.tid)
+            cluster.events.thread_left_for_good(thread, last_node)
+            cluster.fabric.send(Message(
+                src=last_node, dst=root, mtype=MSG_COMPLETE, size=128,
+                payload={"thread": thread, "value": value, "error": error}))
+            return
+        self._finalize(thread, value, error)
+
+    def _on_complete(self, message: Message) -> None:
+        body = message.payload
+        self._finalize(body["thread"], body["value"], body["error"])
+
+    def _finalize(self, thread: DThread, value: Any,
+                  error: BaseException | None,
+                  state: str | None = None) -> None:
+        cluster = self.cluster
+        root = thread.tid.root
+        cluster.kernels[root].thread_table.purge(thread.tid)
+        cluster.events.thread_gone(thread)
+        cluster.live_threads.pop(thread.tid, None)
+        gid = thread.attributes.group
+        if gid is not None:
+            cluster.groups.remove(gid, thread.tid)
+        if state is None:
+            state = "done" if error is None else "failed"
+        cluster.tracer.emit("thread", "exit", tid=str(thread.tid),
+                            state=state)
+        thread.finish(value, error, state=state)
+
+    # ------------------------------------------------------------------
+    # asynchronous invocation (spawn)
+    # ------------------------------------------------------------------
+
+    def invoke_async(self, thread: DThread, syscall: sc.InvokeAsync) -> None:
+        here = thread.current_node
+        attributes = thread.attributes.inherit()
+        gid = attributes.group
+        child = self.spawn_thread(here, syscall.cap, syscall.entry,
+                                  syscall.args, attributes=attributes)
+        if gid is not None:
+            self.cluster.groups.add(gid, child.tid)
+        result = child.completion if syscall.claimable else None
+        if not syscall.claimable:
+            # Fire-and-forget: nobody will observe a failure, so swallow
+            # it (the system "may not keep track of asynchronous
+            # invocations, the results of which are not claimed", §7.1).
+            child.completion.add_done_callback(lambda fut: None)
+        handle = sc.AsyncHandle(tid=child.tid, result=result)
+        # The parent pays the creation cost before continuing.
+        self.cluster.sim.call_after(self.cluster.config.thread_create_cost,
+                                    thread.resume_with, handle, None,
+                                    thread.block("spawn"))
+
+    # ------------------------------------------------------------------
+    # object creation from running threads
+    # ------------------------------------------------------------------
+
+    def create_object_from_thread(self, thread: DThread,
+                                  syscall: sc.CreateObject) -> None:
+        cluster = self.cluster
+        here = thread.current_node
+        target = here if syscall.node is None else syscall.node
+        if target not in cluster.kernels:
+            thread.schedule_step(None, ObjectError(
+                f"cannot create object on unknown node {target}"))
+            return
+        if target == here:
+            try:
+                cap = cluster.kernels[target].objects.create(
+                    syscall.cls, *syscall.args,
+                    transport=syscall.transport, **syscall.kwargs)
+            except BaseException as exc:  # noqa: BLE001
+                thread.schedule_step(None, exc)
+                return
+            thread.schedule_step(cap, None)
+            return
+        epoch = thread.block("create")
+        fut = cluster.kernels[here].rpc.request(
+            target, SVC_CREATE_OBJECT,
+            {"cls": syscall.cls, "args": syscall.args,
+             "kwargs": syscall.kwargs, "transport": syscall.transport})
+
+        def done(f):
+            if f.failed or f.cancelled:
+                try:
+                    f.result()
+                except BaseException as exc:  # noqa: BLE001
+                    thread.resume_with(None, exc, epoch)
+                return
+            thread.resume_with(f.result(), None, epoch)
+
+        fut.add_done_callback(done)
+
+    def _svc_create_object(self, payload: dict, message: Message) -> Any:
+        kernel = self.cluster.kernels[int(message.dst)]
+        return kernel.objects.create(payload["cls"], *payload["args"],
+                                     transport=payload["transport"],
+                                     **payload["kwargs"])
+
+    # ------------------------------------------------------------------
+    # termination and aborts
+    # ------------------------------------------------------------------
+
+    def terminate_thread(self, thread: DThread, reason: str = "") -> None:
+        """Terminate a thread: unwind all activations, innermost first.
+
+        Each frame's ``finally`` blocks run on the node the frame occupies
+        (cross-node unwinding is charged as messages); each distinct
+        object the thread unwinds out of is posted an ABORT event so it
+        can clean up (§6.3).
+        """
+        if not thread.alive or thread.state == TERMINATING:
+            return
+        thread.state = TERMINATING
+        thread.cancel_wait()
+        thread.cancel_pending_steps()
+        self.cluster.tracer.emit("thread", "terminate", tid=str(thread.tid),
+                                 reason=reason, node=thread.current_node)
+        self._unwind_next(thread, reason, notified=set())
+
+    def _unwind_next(self, thread: DThread, reason: str,
+                     notified: set[int]) -> None:
+        cluster = self.cluster
+        if not thread.frames:
+            self._finalize(thread, None,
+                           ThreadTerminated(reason or f"{thread.tid} killed"),
+                           state=TERMINATED)
+            return
+        frame = thread.frames[-1]
+        crash = thread.unwind_close(frame)
+        if crash is not None:
+            cluster.tracer.emit("thread", "unwind-crash", tid=str(thread.tid),
+                                entry=frame.entry, error=repr(crash))
+        thread.pop_frame()
+        obj = frame.obj
+        if (obj is not None and cluster.config.notify_abort_on_unwind
+                and obj.oid not in notified):
+            notified.add(obj.oid)
+            cluster.events.post_abort_notification(obj, thread, frame.node)
+        if frame.is_remote and frame.caller_node is not None \
+                and frame.caller_node != frame.node:
+            cluster.events.thread_leaving_node(
+                thread, frame.node,
+                frames_remain=self._frames_remain(thread, frame.node))
+            kernel = cluster.kernels[frame.node]
+            if thread.tid in kernel.thread_table:
+                if kernel.thread_table.frame_popped(thread.tid) is None:
+                    cluster.events.thread_left_for_good(thread, frame.node)
+            cluster.fabric.send(Message(
+                src=frame.node, dst=frame.caller_node, mtype=MSG_UNWIND,
+                size=96, payload={"thread": thread, "reason": reason,
+                                  "notified": notified,
+                                  "mode": "terminate", "depth": 0}))
+            return
+        cluster.sim.call_soon(self._unwind_next, thread, reason, notified)
+
+    def _on_unwind(self, message: Message) -> None:
+        body = message.payload
+        thread: DThread = body["thread"]
+        node = int(message.dst)
+        kernel = self.cluster.kernels[node]
+        if thread.tid in kernel.thread_table:
+            kernel.thread_table.thread_returned_here(thread.tid)
+        if body.get("mode") == "abort":
+            self._abort_down_to(thread, body["depth"], body["reason"],
+                                body["notified"])
+        else:
+            self._unwind_next(thread, body["reason"], body["notified"])
+
+    def abort_invocation(self, thread: DThread, oid: int,
+                         reason: str = "") -> bool:
+        """Abort the invocation of object ``oid`` in progress for a thread.
+
+        Frames above and including the innermost frame executing in
+        ``oid`` are unwound; the frame below observes
+        :class:`~repro.errors.InvocationAborted` (which it may catch).
+        Returns False if the thread has no frame in that object.
+
+        This is the action §6.3 assigns to the ABORT handler: "the
+        handler must abort the invocation in progress for the thread
+        named in the event block".
+        """
+        depth = None
+        for i in range(len(thread.frames) - 1, -1, -1):
+            obj = thread.frames[i].obj
+            if obj is not None and obj.oid == oid:
+                depth = i
+                break
+        if depth is None or not thread.alive:
+            return False
+        if depth == 0:
+            # Aborting the top-level invocation terminates the thread.
+            self.terminate_thread(thread, reason or f"abort oid {oid}")
+            return True
+        thread.cancel_wait()
+        thread.cancel_pending_steps()
+        self._abort_down_to(thread, depth, reason, notified=set())
+        return True
+
+    def _abort_down_to(self, thread: DThread, depth: int, reason: str,
+                       notified: set[int]) -> None:
+        cluster = self.cluster
+        if len(thread.frames) <= depth:
+            error = InvocationAborted(reason or "invocation aborted")
+            thread.resume_with(None, error)
+            return
+        frame = thread.frames[-1]
+        thread.unwind_close(frame)
+        thread.pop_frame()
+        obj = frame.obj
+        if (obj is not None and cluster.config.notify_abort_on_unwind
+                and obj.oid not in notified):
+            notified.add(obj.oid)
+            cluster.events.post_abort_notification(obj, thread, frame.node)
+        if frame.is_remote and frame.caller_node is not None \
+                and frame.caller_node != frame.node:
+            cluster.events.thread_leaving_node(
+                thread, frame.node,
+                frames_remain=self._frames_remain(thread, frame.node))
+            kernel = cluster.kernels[frame.node]
+            if thread.tid in kernel.thread_table:
+                if kernel.thread_table.frame_popped(thread.tid) is None:
+                    cluster.events.thread_left_for_good(thread, frame.node)
+            cluster.fabric.send(Message(
+                src=frame.node, dst=frame.caller_node, mtype=MSG_UNWIND,
+                size=96, payload={"thread": thread, "reason": reason,
+                                  "notified": notified,
+                                  "mode": "abort", "depth": depth}))
+            return
+        cluster.sim.call_soon(self._abort_down_to, thread, depth, reason,
+                              notified)

@@ -1,0 +1,162 @@
+"""Per-node object manager.
+
+Hosts the objects homed on a node and executes their object-based event
+handlers. Section 7 of the paper: "to support posting events to passive
+objects, a system thread needs to be employed. To reduce thread-creation
+costs, it is preferable to employ a master handler thread on behalf of a
+passive object." Both modes are implemented — the configured default is
+the master thread; experiment E3 compares them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import ObjectError, UnknownObjectError
+from repro.events.block import EventBlock
+from repro.kernel.config import (
+    OBJ_EVENTS_MASTER,
+    TRANSPORT_DSM,
+)
+from repro.objects.base import DistObject
+from repro.objects.capability import Capability
+from repro.sim.primitives import Channel, SimFuture
+from repro.threads.thread import DThread, KIND_KERNEL
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.node import Kernel
+
+
+class ObjectManager:
+    """Registry plus object-event executor for one node."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self.node_id = kernel.node_id
+        self._objects: dict[int, DistObject] = {}
+        self._queue: Channel[Any] = Channel(kernel.sim)
+        self._master: DThread | None = None
+        #: counters reported by experiment E3
+        self.events_served = 0
+        self.handler_threads_created = 0
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+
+    def create(self, cls: type, *args: Any, transport: str | None = None,
+               **kwargs: Any) -> Capability:
+        """Instantiate ``cls`` on this node and return its capability."""
+        if not (isinstance(cls, type) and issubclass(cls, DistObject)):
+            raise ObjectError(f"{cls!r} is not a DistObject subclass")
+        transport = transport or self.kernel.config.default_transport
+        obj = cls(*args, **kwargs)
+        if obj._home is not None:
+            raise ObjectError(
+                f"{cls.__name__}.__init__ must not place the object itself")
+        # re-key onto the cluster-local oid space for determinism
+        obj._oid = next(self.kernel.cluster.oid_counter)
+        obj._place(self.node_id, transport)
+        self._objects[obj.oid] = obj
+        self.kernel.cluster.object_directory[obj.oid] = obj
+        if transport == TRANSPORT_DSM:
+            self.kernel.cluster.dsm.register_object(obj)
+        self.kernel.tracer.emit("object", "create", oid=obj.oid,
+                                cls=cls.__name__, node=self.node_id,
+                                transport=transport)
+        return obj.cap
+
+    def get(self, oid: int) -> DistObject | None:
+        return self._objects.get(oid)
+
+    def require(self, oid: int) -> DistObject:
+        obj = self._objects.get(oid)
+        if obj is None:
+            raise UnknownObjectError(
+                f"node {self.node_id} hosts no object {oid}")
+        return obj
+
+    def destroy(self, oid: int) -> bool:
+        """Remove an object from the node (the DELETE default action)."""
+        obj = self._objects.pop(oid, None)
+        if obj is None:
+            return False
+        self.kernel.cluster.object_directory.pop(oid, None)
+        self.kernel.tracer.emit("object", "destroy", oid=oid,
+                                node=self.node_id)
+        return True
+
+    def oids(self) -> list[int]:
+        return sorted(self._objects)
+
+    # ------------------------------------------------------------------
+    # object-based event execution (§4.3, §7)
+    # ------------------------------------------------------------------
+
+    def run_object_handler(self, obj: DistObject, fn: Callable,
+                           block: EventBlock,
+                           done: SimFuture[Any]) -> None:
+        """Execute an object's handler for an event posted to it.
+
+        ``fn`` is the bound handler method (a generator function taking
+        ``(ctx, event_block)``); ``done`` resolves with its return value.
+        """
+        mode = self.kernel.config.object_event_mode
+        if mode == OBJ_EVENTS_MASTER:
+            self._queue.put((obj, fn, block, done))
+            self._ensure_master()
+        else:
+            self._spawn_per_event_thread(obj, fn, block, done)
+
+    def _ensure_master(self) -> None:
+        if self._master is not None and self._master.alive:
+            return
+        # The master is created once (its creation cost is paid once, at
+        # first use — the whole point of the optimisation).
+        self.handler_threads_created += 1
+        self._master = self.kernel.invoker.adopt_loop_thread(
+            self.node_id, self._master_loop, "obj-event-master", KIND_KERNEL)
+
+    def _master_loop(self, ctx):
+        """Body of the per-node master handler thread."""
+        while True:
+            work = yield ctx.recv(self._queue)
+            yield from self._serve(ctx, work)
+
+    def _spawn_per_event_thread(self, obj: DistObject, fn: Callable,
+                                block: EventBlock,
+                                done: SimFuture[Any]) -> None:
+        self.handler_threads_created += 1
+
+        def one_shot(ctx):
+            # Creation cost is charged by spawn machinery below.
+            yield from self._serve(ctx, (obj, fn, block, done))
+
+        def create() -> None:
+            self.kernel.invoker.adopt_loop_thread(
+                self.node_id, one_shot, "obj-event-oneshot", KIND_KERNEL)
+
+        # Charge the thread-creation cost the master mode avoids.
+        self.kernel.sim.call_after(self.kernel.config.thread_create_cost,
+                                   create)
+
+    def _serve(self, ctx, work):
+        """Run one handler within the object's context (shared by modes)."""
+        obj, fn, block, done = work
+        activation = ctx._activation
+        activation.obj = obj
+        previous_block, activation.event_block = activation.event_block, block
+        block.delivered_at = ctx.now
+        self.events_served += 1
+        self.kernel.tracer.emit("event", "object-handler", oid=obj.oid,
+                                event=block.event, node=self.node_id)
+        try:
+            result = yield from fn(ctx, block)
+        except BaseException as exc:  # noqa: BLE001 - handler crash is data
+            if not done.done:
+                done.fail(exc)
+        else:
+            if not done.done:
+                done.resolve(result)
+        activation.obj = None
+        activation.event_block = previous_block

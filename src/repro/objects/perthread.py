@@ -1,0 +1,80 @@
+"""Per-thread memory.
+
+"A procedure defined in the per-thread area of the thread. The compiled
+procedure traverses with the thread and will be made visible within the
+current object in which the thread is executing." (§4.1; see also
+[Dasgupta 90])
+
+Per-thread memory is a private area attached to a thread's attributes. It
+carries named *procedures* (position-independent handler code in the
+paper; plain callables here) and arbitrary user data. Because it travels
+with the thread, a CURRENT-context handler can be executed on whatever
+node the thread occupies when the event arrives — the delivery engine
+looks the procedure up by name at that moment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import HandlerContextError
+
+
+class PerThreadMemory:
+    """A thread's private memory area: procedures plus scratch data."""
+
+    def __init__(self) -> None:
+        self._procedures: dict[str, Callable[..., Any]] = {}
+        self._data: dict[str, Any] = {}
+
+    # -- procedures (handler code that travels with the thread) ---------
+
+    def install_procedure(self, name: str, fn: Callable[..., Any]) -> None:
+        """Map handler code into the per-thread area under ``name``."""
+        if not callable(fn):
+            raise HandlerContextError(
+                f"per-thread procedure {name!r} must be callable, got {fn!r}")
+        self._procedures[name] = fn
+
+    def procedure(self, name: str) -> Callable[..., Any]:
+        fn = self._procedures.get(name)
+        if fn is None:
+            raise HandlerContextError(
+                f"per-thread memory has no procedure {name!r}; it must be "
+                f"installed before the handler can run")
+        return fn
+
+    def has_procedure(self, name: str) -> bool:
+        return name in self._procedures
+
+    def procedures(self) -> list[str]:
+        return sorted(self._procedures)
+
+    # -- scratch data ----------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def setdefault(self, key: str, default: Any) -> Any:
+        return self._data.setdefault(key, default)
+
+    def copy(self) -> "PerThreadMemory":
+        """Clone for a spawned thread inheriting its parent's attributes."""
+        clone = PerThreadMemory()
+        clone._procedures = dict(self._procedures)
+        clone._data = dict(self._data)
+        return clone
+
+    @property
+    def nominal_size(self) -> int:
+        """Bytes charged when the thread migrates (attribute payload)."""
+        return 64 + 32 * len(self._procedures) + 32 * len(self._data)

@@ -1,0 +1,41 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package provides the virtual-time execution environment that every
+other subsystem of the library runs on: a scheduler
+(:class:`~repro.sim.scheduler.Simulator`), generator-based processes
+(:class:`~repro.sim.process.Process`), synchronisation primitives, seeded
+random streams, and structured tracing.
+"""
+
+from repro.sim.primitives import Channel, Condition, Semaphore, SimFuture
+from repro.sim.process import (
+    Checkpoint,
+    Process,
+    Sleep,
+    Syscall,
+    Wait,
+    WaitAll,
+    spawn,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Handle, Simulator
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Channel",
+    "Checkpoint",
+    "Condition",
+    "Handle",
+    "Process",
+    "RngRegistry",
+    "Semaphore",
+    "SimFuture",
+    "Simulator",
+    "Sleep",
+    "Syscall",
+    "TraceRecord",
+    "Tracer",
+    "Wait",
+    "WaitAll",
+    "spawn",
+]

@@ -1,0 +1,209 @@
+"""Synchronisation primitives for simulated code.
+
+These mirror the familiar concurrency toolbox — futures, conditions,
+semaphores, FIFO channels — but are driven entirely by the virtual clock of
+a :class:`~repro.sim.scheduler.Simulator`. They are used both by simulated
+kernel services (written as :class:`~repro.sim.process.Process` generators)
+and by the thread driver in :mod:`repro.threads`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generic, TypeVar
+
+from repro.errors import SimulationError
+from repro.sim.scheduler import Simulator
+
+T = TypeVar("T")
+
+_PENDING = "pending"
+_RESOLVED = "resolved"
+_FAILED = "failed"
+_CANCELLED = "cancelled"
+
+
+class SimFuture(Generic[T]):
+    """A one-shot container for a value produced later in virtual time.
+
+    Callbacks added with :meth:`add_done_callback` run via ``call_soon`` so
+    that resolution order never depends on Python stack depth.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._state = _PENDING
+        self._value: T | None = None
+        self._error: BaseException | None = None
+        self._callbacks: list[Callable[[SimFuture[T]], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._state != _PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    @property
+    def failed(self) -> bool:
+        return self._state == _FAILED
+
+    def resolve(self, value: T = None) -> None:
+        """Complete the future successfully with ``value``."""
+        self._complete(_RESOLVED, value=value)
+
+    def fail(self, error: BaseException) -> None:
+        """Complete the future with an exception."""
+        if not isinstance(error, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {error!r}")
+        self._complete(_FAILED, error=error)
+
+    def cancel(self) -> bool:
+        """Cancel the future if still pending. Returns True if cancelled."""
+        if self.done:
+            return False
+        self._complete(_CANCELLED, error=SimulationError("future cancelled"))
+        return True
+
+    def result(self) -> T:
+        """Return the value, raising if pending, failed, or cancelled."""
+        if self._state == _PENDING:
+            raise SimulationError("future is not resolved yet")
+        if self._error is not None:
+            raise self._error
+        return self._value  # type: ignore[return-value]
+
+    def add_done_callback(self, fn: Callable[["SimFuture[T]"], None]) -> None:
+        """Run ``fn(self)`` once the future completes (soon, if already done)."""
+        if self.done:
+            self._sim.call_soon(fn, self)
+        else:
+            self._callbacks.append(fn)
+
+    def _complete(self, state: str, value: T | None = None,
+                  error: BaseException | None = None) -> None:
+        if self.done:
+            raise SimulationError(f"future already {self._state}")
+        self._state = state
+        self._value = value
+        self._error = error
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._sim.call_soon(fn, self)
+
+
+class Condition:
+    """A broadcast/signal wait-point over sim futures.
+
+    ``wait()`` hands back a fresh :class:`SimFuture`; ``signal()`` resolves
+    the oldest waiter, ``broadcast()`` resolves all of them.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._waiters: deque[SimFuture[Any]] = deque()
+
+    @property
+    def waiting(self) -> int:
+        return sum(1 for w in self._waiters if not w.done)
+
+    def wait(self) -> SimFuture[Any]:
+        fut: SimFuture[Any] = SimFuture(self._sim)
+        self._waiters.append(fut)
+        return fut
+
+    def signal(self, value: Any = None) -> bool:
+        """Wake the oldest live waiter. Returns False if none was waiting."""
+        while self._waiters:
+            fut = self._waiters.popleft()
+            if not fut.done:
+                fut.resolve(value)
+                return True
+        return False
+
+    def broadcast(self, value: Any = None) -> int:
+        """Wake every live waiter; returns how many were woken."""
+        woken = 0
+        while self._waiters:
+            fut = self._waiters.popleft()
+            if not fut.done:
+                fut.resolve(value)
+                woken += 1
+        return woken
+
+
+class Semaphore:
+    """A counting semaphore whose ``acquire`` returns a :class:`SimFuture`."""
+
+    def __init__(self, sim: Simulator, value: int = 1) -> None:
+        if value < 0:
+            raise SimulationError(f"semaphore initial value {value} < 0")
+        self._sim = sim
+        self._value = value
+        self._waiters: deque[SimFuture[None]] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> SimFuture[None]:
+        fut: SimFuture[None] = SimFuture(self._sim)
+        if self._value > 0:
+            self._value -= 1
+            fut.resolve(None)
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def try_acquire(self) -> bool:
+        if self._value > 0:
+            self._value -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        while self._waiters:
+            fut = self._waiters.popleft()
+            if not fut.done:
+                fut.resolve(None)
+                return
+        self._value += 1
+
+
+class Channel(Generic[T]):
+    """An unbounded FIFO channel between simulated producers and consumers.
+
+    ``get()`` returns a future resolved with the next item; items are
+    delivered in FIFO order to getters in FIFO order.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._items: deque[T] = deque()
+        self._getters: deque[SimFuture[T]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: T) -> None:
+        while self._getters:
+            fut = self._getters.popleft()
+            if not fut.done:
+                fut.resolve(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> SimFuture[T]:
+        fut: SimFuture[T] = SimFuture(self._sim)
+        if self._items:
+            fut.resolve(self._items.popleft())
+        else:
+            self._getters.append(fut)
+        return fut
+
+    def drain(self) -> list[T]:
+        """Remove and return all queued items without waiting."""
+        items = list(self._items)
+        self._items.clear()
+        return items

@@ -1,0 +1,236 @@
+"""Generator-based simulated processes.
+
+A :class:`Process` wraps a Python generator whose ``yield`` expressions are
+*syscalls* against the virtual clock: sleep for some virtual time, wait on
+a :class:`~repro.sim.primitives.SimFuture`, or yield control for one
+scheduling round. Kernel services in this library (timer loops, master
+handler threads, monitor servers, pagers) are written as processes.
+
+Processes are interruptible: :meth:`Process.interrupt` throws
+:class:`~repro.errors.Interrupted` into the generator at its current wait
+point, which models the paper's requirement that an executing activity be
+"stopped at the point of delivery" when an event arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import Interrupted, ProcessError
+from repro.sim.primitives import SimFuture
+from repro.sim.scheduler import Handle, Simulator
+
+
+class Syscall:
+    """Base class for values a process may yield."""
+
+    __slots__ = ()
+
+
+class Sleep(Syscall):
+    """Suspend the process for ``delay`` seconds of virtual time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ProcessError(f"negative sleep {delay!r}")
+        self.delay = float(delay)
+
+
+class Wait(Syscall):
+    """Suspend until the given future resolves; yields its value.
+
+    If the future fails, the exception is re-raised inside the process.
+    """
+
+    __slots__ = ("future",)
+
+    def __init__(self, future: SimFuture[Any]) -> None:
+        self.future = future
+
+
+class WaitAll(Syscall):
+    """Suspend until every future in the collection resolves.
+
+    Yields the list of results in input order. The first failure is
+    re-raised inside the process.
+    """
+
+    __slots__ = ("futures",)
+
+    def __init__(self, futures: Iterable[SimFuture[Any]]) -> None:
+        self.futures = list(futures)
+
+
+class Checkpoint(Syscall):
+    """Yield control for one scheduling round without advancing the clock.
+
+    This is an interruption point: pending interrupts are delivered here.
+    """
+
+    __slots__ = ()
+
+
+ProcessBody = Generator[Syscall, Any, Any]
+
+
+class Process:
+    """A simulated process driving a generator of syscalls.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing virtual time.
+    body:
+        A generator yielding :class:`Syscall` values.
+    name:
+        Diagnostic name used in reprs and error messages.
+
+    The process starts on the next scheduling round after construction.
+    Completion (normal return, crash, or interruption that escapes the
+    body) resolves :attr:`completion`.
+    """
+
+    def __init__(self, sim: Simulator, body: ProcessBody,
+                 name: str = "process") -> None:
+        if not hasattr(body, "send"):
+            raise ProcessError(f"process body must be a generator, got {body!r}")
+        self._sim = sim
+        self._body = body
+        self.name = name
+        self.completion: SimFuture[Any] = SimFuture(sim)
+        self._wait_handle: Handle | None = None
+        self._pending_interrupt: list[object] = []
+        self._waiting_on: SimFuture[Any] | None = None
+        self._alive = True
+        self._started = False
+        sim.call_soon(self._step, None, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostic only
+        state = "alive" if self._alive else "done"
+        return f"<Process {self.name} {state}>"
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupted` into the process at its wait point.
+
+        If the process is currently executing (between yields) the
+        interrupt is delivered at its next suspension. Interrupting a
+        finished process is a no-op.
+        """
+        if not self._alive:
+            return
+        self._pending_interrupt.append(cause)
+        self._kick()
+
+    def _kick(self) -> None:
+        """Reschedule the step if the process is parked on a wait."""
+        if self._wait_handle is not None:
+            self._wait_handle.cancel()
+            self._wait_handle = None
+            self._sim.call_soon(self._step, None, None)
+        elif self._waiting_on is not None:
+            waited, self._waiting_on = self._waiting_on, None
+            self._sim.call_soon(self._step_if_parked_on, waited)
+
+    def _step_if_parked_on(self, waited: SimFuture[Any]) -> None:
+        # The future callback may still fire later; _waiting_on being
+        # cleared marks that this process no longer cares about it.
+        self._step(None, None)
+
+    def _step(self, value: Any, error: BaseException | None) -> None:
+        if not self._alive:
+            return
+        self._started = True
+        self._wait_handle = None
+        self._waiting_on = None
+        if self._pending_interrupt:
+            cause = self._pending_interrupt.pop(0)
+            error = Interrupted(cause)
+            value = None
+        try:
+            if error is not None:
+                syscall = self._body.throw(error)
+            else:
+                syscall = self._body.send(value)
+        except StopIteration as stop:
+            self._finish(value=stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process crash is data
+            self._finish(error=exc)
+            return
+        self._dispatch(syscall)
+
+    def _dispatch(self, syscall: Syscall) -> None:
+        if isinstance(syscall, Sleep):
+            self._wait_handle = self._sim.call_after(
+                syscall.delay, self._step, None, None)
+        elif isinstance(syscall, Checkpoint):
+            self._wait_handle = self._sim.call_soon(self._step, None, None)
+        elif isinstance(syscall, Wait):
+            self._park_on(syscall.future)
+        elif isinstance(syscall, WaitAll):
+            self._park_on_all(syscall.futures)
+        else:
+            self._finish(error=ProcessError(
+                f"process {self.name!r} yielded unsupported value {syscall!r}"))
+
+    def _park_on(self, future: SimFuture[Any]) -> None:
+        self._waiting_on = future
+
+        def resume(fut: SimFuture[Any]) -> None:
+            if self._waiting_on is not fut:
+                return  # interrupted away from this wait
+            self._waiting_on = None
+            if fut.failed or fut.cancelled:
+                try:
+                    fut.result()
+                except BaseException as exc:  # noqa: BLE001
+                    self._step(None, exc)
+                return
+            self._step(fut.result(), None)
+
+        future.add_done_callback(resume)
+
+    def _park_on_all(self, futures: list[SimFuture[Any]]) -> None:
+        if not futures:
+            self._wait_handle = self._sim.call_soon(self._step, [], None)
+            return
+        gate: SimFuture[list[Any]] = SimFuture(self._sim)
+        remaining = [len(futures)]
+
+        def one_done(fut: SimFuture[Any]) -> None:
+            if gate.done:
+                return
+            if fut.failed or fut.cancelled:
+                try:
+                    fut.result()
+                except BaseException as exc:  # noqa: BLE001
+                    gate.fail(exc)
+                return
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                gate.resolve([f.result() for f in futures])
+
+        for fut in futures:
+            fut.add_done_callback(one_done)
+        self._park_on(gate)
+
+    def _finish(self, value: Any = None,
+                error: BaseException | None = None) -> None:
+        self._alive = False
+        self._body.close()
+        if error is not None:
+            self.completion.fail(error)
+        else:
+            self.completion.resolve(value)
+
+
+def spawn(sim: Simulator, fn: Callable[..., ProcessBody], *args: Any,
+          name: str | None = None, **kwargs: Any) -> Process:
+    """Convenience: create a :class:`Process` from a generator function."""
+    return Process(sim, fn(*args, **kwargs), name=name or fn.__name__)

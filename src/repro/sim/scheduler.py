@@ -1,0 +1,165 @@
+"""Deterministic discrete-event scheduler with a virtual clock.
+
+The :class:`Simulator` is the execution substrate for the whole library:
+node kernels, the message fabric, timers, DSM protocol engines and thread
+drivers all schedule callbacks here. Virtual time is a float number of
+seconds; two runs with identical inputs produce identical schedules, which
+the test suite relies on.
+
+Ordering guarantees:
+
+* callbacks fire in non-decreasing virtual time;
+* callbacks scheduled for the same instant fire in scheduling order
+  (FIFO), which keeps traces deterministic without relying on object
+  identity or hash order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Handle:
+    """Cancellation handle returned by :meth:`Simulator.call_at`."""
+
+    when: float
+    seq: int
+    _entry: list = field(repr=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running. Idempotent."""
+        self._entry[3] = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[3] is None
+
+
+class Simulator:
+    """A deterministic discrete-event loop over virtual time.
+
+    Parameters
+    ----------
+    start:
+        Initial virtual time (seconds). Defaults to ``0.0``.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.call_after(1.5, fired.append, "a")
+    >>> _ = sim.call_after(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: list[list] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) callbacks."""
+        return sum(1 for entry in self._queue if entry[3] is not None)
+
+    def call_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Handle:
+        """Schedule ``fn(*args)`` at virtual time ``when``.
+
+        ``when`` must not be in the past. Returns a :class:`Handle` that can
+        cancel the callback before it fires.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when!r}; virtual time is already {self._now!r}"
+            )
+        entry = [float(when), next(self._seq), args, fn]
+        heapq.heappush(self._queue, entry)
+        return Handle(entry[0], entry[1], entry)
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Handle:
+        """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> Handle:
+        """Schedule ``fn(*args)`` at the current instant, after queued work."""
+        return self.call_at(self._now, fn, *args)
+
+    def step(self) -> bool:
+        """Run the single next callback. Returns False when queue is empty."""
+        while self._queue:
+            when, _seq, args, fn = heapq.heappop(self._queue)
+            if fn is None:
+                continue
+            self._now = when
+            self._events_processed += 1
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run callbacks until the queue drains.
+
+        Parameters
+        ----------
+        until:
+            Stop once virtual time would exceed this bound; the clock is
+            then advanced exactly to ``until``.
+        max_events:
+            Safety valve — raise :class:`SimulationError` after this many
+            callbacks, which catches accidental livelock in tests.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        try:
+            processed = 0
+            while self._queue:
+                when = self._next_time()
+                if when is None:
+                    break
+                if until is not None and when > until:
+                    self._now = float(until)
+                    return
+                if not self.step():
+                    break
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"run() exceeded max_events={max_events} (livelock?)"
+                    )
+            if until is not None and self._now < until:
+                self._now = float(until)
+        finally:
+            self._running = False
+
+    def _next_time(self) -> float | None:
+        """Virtual time of the next live callback, or None."""
+        while self._queue and self._queue[0][3] is None:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0][0]

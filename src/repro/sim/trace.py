@@ -1,0 +1,139 @@
+"""Structured trace recording for simulations.
+
+Every interesting action in the simulated cluster (message send/receive,
+invocation, event raise/delivery, handler execution, page fault, …) is
+recorded as a :class:`TraceRecord`. Traces serve three purposes:
+
+* tests assert on exact sequences (determinism, delivery order);
+* experiment E7 compares handler-execution traces across transports;
+* benchmarks derive message counts and latencies from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.sim.scheduler import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped structured event in a simulation run."""
+
+    time: float
+    category: str
+    name: str
+    fields: tuple[tuple[str, Any], ...] = ()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+    def as_dict(self) -> dict[str, Any]:
+        data = {"time": self.time, "category": self.category, "name": self.name}
+        data.update(dict(self.fields))
+        return data
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostic only
+        kv = " ".join(f"{k}={v!r}" for k, v in self.fields)
+        return f"[{self.time:10.6f}] {self.category}/{self.name} {kv}"
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceRecord` entries against a simulator clock.
+
+    Categories can be muted wholesale with :meth:`mute` to keep long
+    benchmark runs light; records in muted categories are counted but not
+    stored.
+    """
+
+    sim: Simulator
+    records: list[TraceRecord] = field(default_factory=list)
+    counts: dict[str, int] = field(default_factory=dict)
+    _muted: set[str] = field(default_factory=set)
+    _listeners: list[Callable[[TraceRecord], None]] = field(default_factory=list)
+
+    def emit(self, category: str, name: str, **fields: Any) -> None:
+        """Record an event at the current virtual time."""
+        key = f"{category}/{name}"
+        self.counts[key] = self.counts.get(key, 0) + 1
+        record = TraceRecord(self.sim.now, category, name,
+                             tuple(sorted(fields.items())))
+        if category not in self._muted:
+            self.records.append(record)
+        for listener in self._listeners:
+            listener(record)
+
+    def mute(self, *categories: str) -> None:
+        """Stop storing records for the given categories (still counted)."""
+        self._muted.update(categories)
+
+    def unmute(self, *categories: str) -> None:
+        self._muted.difference_update(categories)
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``listener`` synchronously for every emitted record."""
+        self._listeners.append(listener)
+
+    def select(self, category: str | None = None,
+               name: str | None = None, **fields: Any) -> list[TraceRecord]:
+        """Return stored records matching all given criteria."""
+        return list(self.iter_select(category=category, name=name, **fields))
+
+    def iter_select(self, category: str | None = None,
+                    name: str | None = None,
+                    **fields: Any) -> Iterator[TraceRecord]:
+        for record in self.records:
+            if category is not None and record.category != category:
+                continue
+            if name is not None and record.name != name:
+                continue
+            if any(record.get(k) != v for k, v in fields.items()):
+                continue
+            yield record
+
+    def count(self, category: str, name: str | None = None) -> int:
+        """Count emitted records (including muted) by category and name."""
+        if name is not None:
+            return self.counts.get(f"{category}/{name}", 0)
+        prefix = f"{category}/"
+        return sum(n for key, n in self.counts.items()
+                   if key.startswith(prefix))
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.counts.clear()
+
+    def signature(self) -> tuple[tuple[float, str, str, tuple], ...]:
+        """A hashable summary of the stored trace, for determinism checks."""
+        return tuple((r.time, r.category, r.name, r.fields)
+                     for r in self.records)
+
+    def to_jsonl(self, path) -> int:
+        """Dump stored records as JSON lines; returns the record count.
+
+        Values that are not JSON-native are stringified, so traces of
+        arbitrary simulations always export.
+        """
+        import json
+
+        def default(value: Any) -> str:
+            return str(value)
+
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in self.records:
+                fh.write(json.dumps(record.as_dict(), default=default))
+                fh.write("\n")
+        return len(self.records)
+
+    def summary(self) -> dict[str, int]:
+        """Emitted-record counts per category (including muted)."""
+        totals: dict[str, int] = {}
+        for key, count in self.counts.items():
+            category = key.split("/", 1)[0]
+            totals[category] = totals.get(category, 0) + count
+        return totals

@@ -1,0 +1,19 @@
+"""Distributed logical threads: ids, attributes, groups, the driver."""
+
+from repro.threads.attributes import IoChannel, ThreadAttributes, TimerSpec
+from repro.threads.context import Ctx
+from repro.threads.groups import GroupRegistry
+from repro.threads.ids import GroupId, IdAllocator, ThreadId
+from repro.threads.thread import DThread
+
+__all__ = [
+    "Ctx",
+    "DThread",
+    "GroupId",
+    "GroupRegistry",
+    "IdAllocator",
+    "IoChannel",
+    "ThreadAttributes",
+    "ThreadId",
+    "TimerSpec",
+]

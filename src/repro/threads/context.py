@@ -1,0 +1,207 @@
+"""Per-activation execution context handed to user code.
+
+Every entry point, object handler and per-thread procedure receives a
+:class:`Ctx` as its first argument. It has two faces:
+
+* **syscall builders** — methods returning request objects to ``yield``
+  (``result = yield ctx.invoke(cap, "work", 1)``);
+* **immediate accessors** — cheap reads of thread/cluster state that need
+  no kernel involvement (``ctx.tid``, ``ctx.now``, ``ctx.lookup(name)``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.events.block import EventBlock
+from repro.events.handlers import HandlerContext
+from repro.objects.capability import Capability
+from repro.sim.primitives import SimFuture
+from repro.threads import syscalls as sc
+from repro.threads.attributes import ThreadAttributes, TimerSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.threads.thread import Activation, DThread
+
+
+class Ctx:
+    """Execution context bound to one activation of one thread."""
+
+    def __init__(self, thread: "DThread", activation: "Activation") -> None:
+        self._thread = thread
+        self._activation = activation
+
+    # ------------------------------------------------------------------
+    # immediate accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def tid(self):
+        """This thread's id (the suspended thread's id inside a
+        surrogate-executed handler)."""
+        return self._thread.impersonates or self._thread.tid
+
+    @property
+    def real_tid(self):
+        """The executing thread's own id, surrogate or not."""
+        return self._thread.tid
+
+    @property
+    def gid(self):
+        """This thread's group id (or None)."""
+        return self._thread.attributes.group
+
+    @property
+    def node(self) -> int:
+        """Node this activation executes on."""
+        return self._activation.node
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._thread.cluster.sim.now
+
+    @property
+    def current_object(self):
+        """The object this activation runs in (None in bare procedures)."""
+        return self._activation.obj
+
+    @property
+    def self_cap(self) -> Capability | None:
+        obj = self._activation.obj
+        return obj.cap if obj is not None else None
+
+    @property
+    def attributes(self) -> ThreadAttributes:
+        """The thread's traveling attributes (visible everywhere, §3.1)."""
+        return self._thread.attributes
+
+    @property
+    def event_block(self) -> EventBlock | None:
+        """While handling an event: the block being handled, else None."""
+        return self._activation.event_block
+
+    def lookup(self, name: str) -> Any:
+        """Name-service lookup (idealised, zero cost)."""
+        return self._thread.cluster.names.lookup(name)
+
+    def lookup_or_none(self, name: str) -> Any:
+        return self._thread.cluster.names.lookup_or_none(name)
+
+    # ------------------------------------------------------------------
+    # syscall builders (yield the return value)
+    # ------------------------------------------------------------------
+
+    def compute(self, seconds: float) -> sc.Compute:
+        return sc.Compute(seconds)
+
+    def sleep(self, seconds: float) -> sc.SleepFor:
+        return sc.SleepFor(seconds)
+
+    def invoke(self, cap: Capability, entry: str, *args: Any) -> sc.Invoke:
+        return sc.Invoke(cap=cap, entry=entry, args=args)
+
+    def invoke_async(self, cap: Capability, entry: str, *args: Any,
+                     claimable: bool = True) -> sc.InvokeAsync:
+        return sc.InvokeAsync(cap=cap, entry=entry, args=args,
+                              claimable=claimable)
+
+    def wait(self, future: SimFuture) -> sc.WaitFor:
+        return sc.WaitFor(future)
+
+    def recv(self, channel: Any) -> sc.Recv:
+        return sc.Recv(channel)
+
+    def create(self, cls: type, *args: Any, node: int | None = None,
+               transport: str | None = None, **kwargs: Any) -> sc.CreateObject:
+        return sc.CreateObject(cls=cls, node=node, args=args, kwargs=kwargs,
+                               transport=transport)
+
+    def attach_handler(self, event: str,
+                       handler: Any,
+                       context: HandlerContext | None = None,
+                       buddy: Capability | None = None) -> sc.AttachHandler:
+        """Build the §5.2 ``attach_handler`` call.
+
+        ``handler`` may be:
+
+        * a **method name** (string) on the current object — attaching-
+          object context, or buddy context when ``buddy`` is given;
+        * a **callable** — installed into per-thread memory and executed
+          in the current object's context at delivery time
+          (``OWN_CONTEXT``).
+
+        ``context`` overrides the inferred context when both
+        interpretations are possible.
+        """
+        if callable(handler) and not isinstance(handler, str):
+            fn: Callable = handler
+            return sc.AttachHandler(event=event,
+                                    context=HandlerContext.CURRENT,
+                                    procedure=fn)
+        if buddy is not None:
+            return sc.AttachHandler(event=event, context=HandlerContext.BUDDY,
+                                    fn_name=str(handler), target=buddy)
+        return sc.AttachHandler(
+            event=event,
+            context=context or HandlerContext.ATTACHING,
+            fn_name=str(handler))
+
+    def detach_handler(self, event: str,
+                       reg_id: int | None = None) -> sc.DetachHandler:
+        return sc.DetachHandler(event=event, reg_id=reg_id)
+
+    def register_event(self, name: str) -> sc.RegisterEvent:
+        return sc.RegisterEvent(name)
+
+    def raise_event(self, event: str, target: Any,
+                    user_data: Any = None) -> sc.Raise:
+        """Asynchronous ``raise(e, tid|gtid|oid)`` (§5.3)."""
+        return sc.Raise(event=event, target=target, user_data=user_data,
+                        synchronous=False)
+
+    def raise_and_wait(self, event: str, target: Any,
+                       user_data: Any = None) -> sc.Raise:
+        """Synchronous ``raise_and_wait(e, tid|gtid|oid)`` (§5.3)."""
+        return sc.Raise(event=event, target=target, user_data=user_data,
+                        synchronous=True)
+
+    def resume_raiser(self, block: EventBlock,
+                      value: Any = None) -> sc.ResumeRaiser:
+        return sc.ResumeRaiser(block=block, value=value)
+
+    def set_timer(self, interval: float, event: str = "TIMER",
+                  recurring: bool = True,
+                  user_data: Any = None) -> sc.SetThreadTimer:
+        return sc.SetThreadTimer(TimerSpec(event=event, interval=interval,
+                                           recurring=recurring,
+                                           user_data=user_data))
+
+    def cancel_timer(self, spec_id: int) -> sc.CancelThreadTimer:
+        return sc.CancelThreadTimer(spec_id)
+
+    def read(self, name: str) -> sc.ReadField:
+        return sc.ReadField(name)
+
+    def write(self, name: str, value: Any) -> sc.WriteField:
+        return sc.WriteField(name, value)
+
+    def install_page(self, oid: int, page_id: int, values: dict,
+                     private_for: int | None = None) -> sc.InstallPage:
+        return sc.InstallPage(oid=oid, page_id=page_id, values=values,
+                              private_for=private_for)
+
+    def merge_pages(self, oid: int, page_id: int) -> sc.MergePages:
+        return sc.MergePages(oid=oid, page_id=page_id)
+
+    def io_write(self, text: str) -> sc.IoWrite:
+        return sc.IoWrite(text)
+
+    def new_group(self) -> sc.NewGroup:
+        return sc.NewGroup()
+
+    def join_group(self, gid) -> sc.JoinGroup:
+        return sc.JoinGroup(gid)
+
+    def leave_group(self) -> sc.LeaveGroup:
+        return sc.LeaveGroup()

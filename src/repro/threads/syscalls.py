@@ -1,0 +1,259 @@
+"""Syscalls yielded by user code running on distributed threads.
+
+Entry points, handlers and per-thread procedures are generator functions;
+each ``yield`` hands one of these request objects to the thread driver,
+which performs the operation (possibly involving messages and virtual
+latency) and resumes the generator with the result. Yield points are also
+the instants at which pending events are delivered — the paper's
+"the process is stopped at the point of delivery".
+
+User code normally builds these through the :class:`~repro.threads.context.Ctx`
+facade rather than instantiating them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ProcessError
+from repro.events.block import EventBlock
+from repro.events.handlers import HandlerContext
+from repro.objects.capability import Capability
+from repro.sim.primitives import SimFuture
+from repro.threads.attributes import TimerSpec
+
+
+class ThreadSyscall:
+    """Base class for thread-level syscalls."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Compute(ThreadSyscall):
+    """Burn ``seconds`` of virtual CPU time on the current node."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ProcessError(f"negative compute time {self.seconds!r}")
+
+
+@dataclass(frozen=True)
+class SleepFor(ThreadSyscall):
+    """Block for ``seconds`` of virtual time (interruptible by events)."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ProcessError(f"negative sleep {self.seconds!r}")
+
+
+@dataclass(frozen=True)
+class Invoke(ThreadSyscall):
+    """Synchronously invoke an entry point of another object.
+
+    Under RPC transport the logical thread migrates to the object's home
+    node; under DSM transport the entry runs locally and the object's
+    pages are faulted in. Yields the entry's return value.
+    """
+
+    cap: Capability
+    entry: str
+    args: tuple = ()
+    #: internal: resolve the name through handler_fn (unscheduled
+    #: invocation of a private handler method, §4.3)
+    as_handler: bool = False
+    #: internal: extra payload for handler invocations (the event block)
+    handler_block: EventBlock | None = None
+
+
+@dataclass(frozen=True)
+class InvokeAsync(ThreadSyscall):
+    """Spawn a new thread to invoke an entry point (asynchronous invocation).
+
+    Yields an :class:`AsyncHandle`. If ``claimable`` the handle carries a
+    future for the result; non-claimable invocations are fire-and-forget
+    (the system "may not keep track" of them, §7.1).
+    """
+
+    cap: Capability
+    entry: str
+    args: tuple = ()
+    claimable: bool = True
+
+
+@dataclass(frozen=True)
+class AsyncHandle:
+    """Result of :class:`InvokeAsync`: the spawned thread and its future."""
+
+    tid: Any
+    result: SimFuture | None
+
+
+@dataclass(frozen=True)
+class WaitFor(ThreadSyscall):
+    """Block until a :class:`SimFuture` resolves (interruptible)."""
+
+    future: SimFuture
+
+
+@dataclass(frozen=True)
+class CreateObject(ThreadSyscall):
+    """Create and place a new distributed object; yields its capability."""
+
+    cls: type
+    node: int | None = None
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    transport: str | None = None
+
+
+@dataclass(frozen=True)
+class AttachHandler(ThreadSyscall):
+    """The ``attach_handler`` system call of §5.2.
+
+    Yields the registration id (usable with :class:`DetachHandler`).
+    """
+
+    event: str
+    context: HandlerContext
+    #: ATTACHING/BUDDY: method name on the target object
+    fn_name: str | None = None
+    #: BUDDY: the buddy object's capability (ATTACHING uses the current one)
+    target: Capability | None = None
+    #: CURRENT: a callable installed into per-thread memory, or the name
+    #: of an already-installed procedure
+    procedure: Any = None
+
+
+@dataclass(frozen=True)
+class DetachHandler(ThreadSyscall):
+    """Remove a handler registration (top of chain, or a specific one)."""
+
+    event: str
+    reg_id: int | None = None
+
+
+@dataclass(frozen=True)
+class RegisterEvent(ThreadSyscall):
+    """Register a user event name with the operating system (§3)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Raise(ThreadSyscall):
+    """The ``raise`` / ``raise_and_wait`` system call of §5.3.
+
+    ``target`` is a ThreadId, GroupId or Capability/oid. Asynchronous
+    raises yield immediately (with the number of recipients targeted);
+    synchronous raises block until a handler resumes the raiser and yield
+    the handler's value.
+    """
+
+    event: str
+    target: Any
+    user_data: Any = None
+    synchronous: bool = False
+
+
+@dataclass(frozen=True)
+class ResumeRaiser(ThreadSyscall):
+    """Explicitly resume the synchronously-blocked raiser of an event.
+
+    Handlers yield this before doing further (possibly long) work; if a
+    handler never does, the delivery engine resumes the raiser when the
+    chain completes.
+    """
+
+    block: EventBlock
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class SetThreadTimer(ThreadSyscall):
+    """Add a timer to the thread's attribute list (§6.2); yields spec id."""
+
+    spec: TimerSpec
+
+
+@dataclass(frozen=True)
+class CancelThreadTimer(ThreadSyscall):
+    """Remove an attribute timer; yields True if found."""
+
+    spec_id: int
+
+
+@dataclass(frozen=True)
+class ReadField(ThreadSyscall):
+    """Read a field of the current DSM-transport object (may page-fault)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class WriteField(ThreadSyscall):
+    """Write a field of the current DSM-transport object (may page-fault)."""
+
+    name: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class IoWrite(ThreadSyscall):
+    """Write a line to the thread's I/O channel attribute (§3.1)."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class InstallPage(ThreadSyscall):
+    """Pager API (§6.4): supply data for a faulted page of a DSM object.
+
+    With ``private_for`` the data becomes a weakly-consistent copy private
+    to that node ("the server can supply a copy of the page"); otherwise
+    the page is materialised globally.
+    """
+
+    oid: int
+    page_id: int
+    values: dict
+    private_for: int | None = None
+
+
+@dataclass(frozen=True)
+class MergePages(ThreadSyscall):
+    """Pager API (§6.4): "later merge the pages" — fold private copies
+    back into the authoritative page. Yields the merged values."""
+
+    oid: int
+    page_id: int
+
+
+@dataclass(frozen=True)
+class NewGroup(ThreadSyscall):
+    """Create a fresh thread group and move this thread into it."""
+
+
+@dataclass(frozen=True)
+class JoinGroup(ThreadSyscall):
+    """Move this thread into an existing group ("threads belonging to an
+    application can form a thread group", §5.3). Yields the group id."""
+
+    gid: Any
+
+
+@dataclass(frozen=True)
+class LeaveGroup(ThreadSyscall):
+    """Leave the current group (if any). Yields the old group id."""
+
+
+@dataclass(frozen=True)
+class Recv(ThreadSyscall):
+    """Receive the next item from a sim channel (blocking, interruptible)."""
+
+    channel: Any

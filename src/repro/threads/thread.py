@@ -1,0 +1,483 @@
+"""The distributed logical thread and its driver.
+
+A :class:`DThread` is the paper's *logical thread*: one flow of control
+that crosses object and machine boundaries via invocations (§2). Its call
+stack is a list of :class:`Activation` records, each pinned to the node it
+executes on; the innermost activation's node is the thread's *current
+location* — the thing the §7.1 locators hunt for.
+
+The driver resumes the innermost activation's generator with the result
+of its last syscall, receives the next syscall, and dispatches it —
+simple ones here, invocations to the cluster's invocation engine, event
+operations to the event manager. Each resumption is an *interruption
+point*: if event notices are pending, the thread is suspended and the
+delivery engine runs the handler chain before user code continues
+("if an event is delivered to an executing thread, the process is
+stopped at the point of delivery", §3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import (
+    ProcessError,
+    SimulationError,
+    ThreadError,
+    ThreadTerminated,
+)
+from repro.events.block import EventBlock, FrameInfo, ThreadSnapshot
+from repro.sim.primitives import SimFuture
+from repro.threads import syscalls as sc
+from repro.threads.attributes import ThreadAttributes
+from repro.threads.context import Ctx
+from repro.threads.ids import ThreadId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.boot import Cluster
+    from repro.objects.base import DistObject
+
+# -- thread lifecycle states -------------------------------------------------
+
+NEW = "new"
+#: A driver step is scheduled or executing; the continuation is internal.
+RUNNING = "running"
+#: Waiting for an external completion (reply, sleep, page, resume, ...).
+BLOCKED = "blocked"
+TERMINATING = "terminating"
+DONE = "done"
+FAILED = "failed"
+TERMINATED = "terminated"
+
+_FINISHED = (DONE, FAILED, TERMINATED)
+
+#: Thread kinds.
+KIND_USER = "user"
+#: Surrogate threads execute thread-based handlers on behalf of a
+#: suspended thread, taking on its attributes (§6.1).
+KIND_SURROGATE = "surrogate"
+#: Kernel threads serve object-based events (§7's master handler thread).
+KIND_KERNEL = "kernel"
+
+_activation_ids = itertools.count(1)
+
+
+class Activation:
+    """One frame of a distributed thread's stack."""
+
+    __slots__ = ("obj", "entry", "gen", "node", "steps", "event_block",
+                 "is_remote", "caller_node", "act_id", "ctx")
+
+    def __init__(self, obj: "DistObject | None", entry: str, gen: Any,
+                 node: int, is_remote: bool = False,
+                 caller_node: int | None = None,
+                 event_block: EventBlock | None = None) -> None:
+        self.obj = obj
+        self.entry = entry
+        self.gen = gen
+        self.node = node
+        self.steps = 0
+        self.event_block = event_block
+        self.is_remote = is_remote
+        self.caller_node = caller_node
+        self.act_id = next(_activation_ids)
+        self.ctx: Ctx | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostic only
+        where = f"oid={self.obj.oid}" if self.obj is not None else "proc"
+        return f"<Activation {where}.{self.entry}@{self.node}>"
+
+
+class DThread:
+    """A logical thread spanning objects and nodes."""
+
+    def __init__(self, cluster: "Cluster", tid: ThreadId,
+                 attributes: ThreadAttributes,
+                 kind: str = KIND_USER) -> None:
+        self.cluster = cluster
+        self.tid = tid
+        self.attributes = attributes
+        self.kind = kind
+        #: for surrogates: the suspended thread this one acts for (its
+        #: tid is what user code sees via ctx.tid)
+        self.impersonates = None
+        self.state = NEW
+        self.frames: list[Activation] = []
+        self.completion: SimFuture[Any] = SimFuture(cluster.sim)
+        #: pending event notices queued for this thread
+        self.pending_notices: list[Any] = []
+        #: true while the delivery engine owns the thread
+        self.suspended_by_event = False
+        #: continuation that arrived while suspended
+        self._stash: tuple[Any, BaseException | None] | None = None
+        #: description of the external completion we are blocked on
+        self._wait: dict[str, Any] | None = None
+        #: epoch guard: stale completions from a cancelled wait are dropped
+        self._wait_epoch = 0
+        #: epoch guard for scheduled driver steps (bumped on abort/terminate)
+        self._step_epoch = 0
+        #: timers armed on the current node: spec_id -> (node, timer_id)
+        self.armed_timers: dict[int, tuple[int, int]] = {}
+        #: event currently being delivered to this thread (None otherwise)
+        self.delivering_event: str | None = None
+        #: exit info for diagnostics
+        self.exit_reason: str | None = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostic only
+        return f"<DThread {self.tid} {self.state} depth={len(self.frames)}>"
+
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+    @property
+    def alive(self) -> bool:
+        return self.state not in _FINISHED
+
+    @property
+    def current_node(self) -> int:
+        """Node of the innermost activation (root node when empty)."""
+        if self.frames:
+            return self.frames[-1].node
+        return self.tid.root
+
+    @property
+    def current_object(self) -> "DistObject | None":
+        if self.frames:
+            return self.frames[-1].obj
+        return None
+
+    @property
+    def wait_kind(self) -> str | None:
+        return self._wait["kind"] if self._wait else None
+
+    @property
+    def dying(self) -> bool:
+        """True when termination is underway or unavoidable.
+
+        Besides the TERMINATING state this covers a queued or currently-
+        delivering TERMINATE/QUIT: resource grants (locks, …) handed to
+        such a thread would be consumed by a corpse — its cleanup chain
+        has already run or is running past the resource's handler.
+        """
+        if not self.alive or self.state == TERMINATING:
+            return True
+        fatal = ("TERMINATE", "QUIT")
+        if self.delivering_event in fatal:
+            return True
+        return any(block.event in fatal for block in self.pending_notices)
+
+    def snapshot(self) -> ThreadSnapshot:
+        """The "registers" put into event blocks (§4.1)."""
+        frames = tuple(
+            FrameInfo(oid=f.obj.oid if f.obj is not None else -1,
+                      entry=f.entry, node=f.node, steps=f.steps)
+            for f in self.frames)
+        return ThreadSnapshot(tid=self.tid, state=self.state,
+                              node=self.current_node, frames=frames)
+
+    # ------------------------------------------------------------------
+    # frame management (used by the invocation engine)
+    # ------------------------------------------------------------------
+
+    def push_frame(self, activation: Activation) -> None:
+        activation.ctx = Ctx(self, activation)
+        self.frames.append(activation)
+
+    def pop_frame(self) -> Activation:
+        if not self.frames:
+            raise ThreadError(f"{self.tid}: pop from empty frame stack")
+        return self.frames.pop()
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def schedule_step(self, value: Any = None,
+                      error: BaseException | None = None) -> None:
+        """Arrange for the driver to resume the innermost frame."""
+        self.state = RUNNING
+        self.sim.call_soon(self._step, value, error, self._step_epoch)
+
+    def schedule_step_after(self, delay: float, value: Any = None,
+                            error: BaseException | None = None) -> None:
+        """Resume the innermost frame after ``delay`` of virtual time."""
+        self.state = RUNNING
+        self.sim.call_after(delay, self._step, value, error, self._step_epoch)
+
+    def cancel_pending_steps(self) -> None:
+        """Invalidate any scheduled driver steps (used by abort/terminate)."""
+        self._step_epoch += 1
+
+    def resume_with(self, value: Any = None,
+                    error: BaseException | None = None,
+                    epoch: int | None = None) -> None:
+        """External completion path (replies, sleeps, resumes, pages).
+
+        ``epoch`` (when provided) must match the wait epoch the completion
+        was issued for; stale completions of cancelled waits are dropped.
+        """
+        if not self.alive:
+            return
+        if epoch is not None and epoch != self._wait_epoch:
+            return
+        self._wait = None
+        if self.suspended_by_event or self.state == TERMINATING:
+            self._set_stash(value, error)
+            return
+        self.schedule_step(value, error)
+
+    def _set_stash(self, value: Any, error: BaseException | None) -> None:
+        if self._stash is not None:
+            raise SimulationError(
+                f"{self.tid}: second continuation while suspended")
+        self._stash = (value, error)
+
+    def take_stash(self) -> tuple[Any, BaseException | None] | None:
+        stash, self._stash = self._stash, None
+        return stash
+
+    def block(self, kind: str, cancel: Any = None) -> int:
+        """Record that the thread now waits for an external completion.
+
+        Returns the wait epoch to tag the eventual completion with.
+        """
+        self.state = BLOCKED
+        self._wait_epoch += 1
+        self._wait = {"kind": kind, "cancel": cancel}
+        return self._wait_epoch
+
+    def cancel_wait(self) -> None:
+        """Abandon the current wait (used by termination)."""
+        if self._wait is None:
+            return
+        cancel = self._wait.get("cancel")
+        self._wait = None
+        self._wait_epoch += 1
+        if cancel is not None:
+            cancel()
+
+    def _step(self, value: Any, error: BaseException | None,
+              step_epoch: int | None = None) -> None:
+        if step_epoch is not None and step_epoch != self._step_epoch:
+            return
+        if not self.alive or self.state == TERMINATING:
+            return
+        if self.suspended_by_event:
+            self._set_stash(value, error)
+            return
+        if self.pending_notices:
+            self._set_stash(value, error)
+            self.cluster.events.start_delivery(self)
+            return
+        if not self.frames:
+            # The first invocation failed before any activation existed
+            # (unknown object/entry, bad arity): the error is the
+            # thread's outcome.
+            self.cluster.invoker.thread_result_with_no_frames(self, value,
+                                                              error)
+            return
+        frame = self.frames[-1]
+        try:
+            if error is not None:
+                syscall = frame.gen.throw(error)
+            else:
+                syscall = frame.gen.send(value)
+        except StopIteration as stop:
+            self.cluster.invoker.frame_returned(self, stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - user code may fail
+            self.cluster.events.on_frame_exception(self, frame, exc)
+            return
+        frame.steps += 1
+        self._dispatch(frame, syscall)
+
+    # ------------------------------------------------------------------
+    # syscall dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, frame: Activation, syscall: Any) -> None:
+        cluster = self.cluster
+        if isinstance(syscall, sc.Compute):
+            # CPU burn: continuation stays internal, state stays RUNNING;
+            # events queued meanwhile are delivered at the next yield.
+            self.schedule_step_after(syscall.seconds)
+        elif isinstance(syscall, sc.SleepFor):
+            epoch = self.block("sleep")
+            handle = self.sim.call_after(
+                syscall.seconds, self.resume_with, None, None, epoch)
+            self._wait["cancel"] = handle.cancel
+        elif isinstance(syscall, sc.WaitFor):
+            self._wait_on_future(syscall.future)
+        elif isinstance(syscall, sc.Recv):
+            self._wait_on_future(syscall.channel.get())
+        elif isinstance(syscall, sc.Invoke):
+            cluster.invoker.invoke(self, syscall)
+        elif isinstance(syscall, sc.InvokeAsync):
+            cluster.invoker.invoke_async(self, syscall)
+        elif isinstance(syscall, sc.CreateObject):
+            cluster.invoker.create_object_from_thread(self, syscall)
+        elif isinstance(syscall, sc.AttachHandler):
+            cluster.events.attach_from_thread(self, frame, syscall)
+        elif isinstance(syscall, sc.DetachHandler):
+            detached = (self.attributes.detach(syscall.event, syscall.reg_id)
+                        if syscall.reg_id is not None
+                        else self.attributes.detach_top(syscall.event)
+                        is not None)
+            self.schedule_step(detached, None)
+        elif isinstance(syscall, sc.RegisterEvent):
+            self._register_event(syscall.name)
+        elif isinstance(syscall, sc.Raise):
+            cluster.events.raise_from_thread(self, syscall)
+        elif isinstance(syscall, sc.ResumeRaiser):
+            cluster.events.resume_raiser(syscall.block, syscall.value)
+            self.schedule_step(None, None)
+        elif isinstance(syscall, sc.SetThreadTimer):
+            cluster.events.add_thread_timer(self, syscall.spec)
+            self.schedule_step(syscall.spec.spec_id, None)
+        elif isinstance(syscall, sc.CancelThreadTimer):
+            removed = cluster.events.remove_thread_timer(self, syscall.spec_id)
+            self.schedule_step(removed, None)
+        elif isinstance(syscall, sc.ReadField):
+            cluster.dsm.field_access(self, frame, syscall.name, None, False)
+        elif isinstance(syscall, sc.WriteField):
+            cluster.dsm.field_access(self, frame, syscall.name,
+                                     syscall.value, True)
+        elif isinstance(syscall, sc.InstallPage):
+            self._pager_call(cluster.dsm.install_page, syscall.oid,
+                             syscall.page_id, syscall.values,
+                             syscall.private_for)
+        elif isinstance(syscall, sc.MergePages):
+            self._pager_call(cluster.dsm.merge_pages, syscall.oid,
+                             syscall.page_id)
+        elif isinstance(syscall, sc.IoWrite):
+            self._io_write(syscall.text)
+        elif isinstance(syscall, sc.NewGroup):
+            self._new_group()
+        elif isinstance(syscall, sc.JoinGroup):
+            self._join_group(syscall.gid)
+        elif isinstance(syscall, sc.LeaveGroup):
+            self._leave_group()
+        else:
+            self.schedule_step(None, ProcessError(
+                f"{self.tid} yielded unsupported value {syscall!r}"))
+
+    def _wait_on_future(self, future: SimFuture[Any]) -> None:
+        epoch = self.block("future")
+
+        def done(fut: SimFuture[Any]) -> None:
+            if fut.failed or fut.cancelled:
+                try:
+                    fut.result()
+                except BaseException as exc:  # noqa: BLE001
+                    self.resume_with(None, exc, epoch)
+                return
+            self.resume_with(fut.result(), None, epoch)
+
+        future.add_done_callback(done)
+
+    def _pager_call(self, fn: Any, *args: Any) -> None:
+        try:
+            result = fn(*args)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            self.schedule_step(None, exc)
+            return
+        self.schedule_step(result, None)
+
+    def _register_event(self, name: str) -> None:
+        try:
+            self.cluster.names.register_event(name, registrar=self.tid)
+        except BaseException as exc:  # noqa: BLE001
+            self.schedule_step(None, exc)
+            return
+        self.schedule_step(None, None)
+
+    def _io_write(self, text: str) -> None:
+        channel = self.attributes.io_channel
+        if channel is not None:
+            channel.write(self.sim.now, self.tid, text)
+        self.schedule_step(None, None)
+
+    def _new_group(self) -> None:
+        cluster = self.cluster
+        kernel = cluster.kernels[self.current_node]
+        gid = kernel.id_allocator.new_gid()
+        cluster.groups.create(gid)
+        old = self.attributes.group
+        if old is not None:
+            cluster.groups.remove(old, self.tid)
+        cluster.groups.add(gid, self.tid)
+        self.attributes.group = gid
+        self.schedule_step(gid, None)
+
+    def _join_group(self, gid: Any) -> None:
+        cluster = self.cluster
+        try:
+            cluster.groups.members(gid)  # validates existence
+            old = self.attributes.group
+            if old is not None:
+                cluster.groups.remove(old, self.tid)
+            cluster.groups.add(gid, self.tid)
+            self.attributes.group = gid
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            self.schedule_step(None, exc)
+            return
+        self.schedule_step(gid, None)
+
+    def _leave_group(self) -> None:
+        old = self.attributes.group
+        if old is not None:
+            self.cluster.groups.remove(old, self.tid)
+            self.attributes.group = None
+        self.schedule_step(old, None)
+
+    # ------------------------------------------------------------------
+    # event integration
+    # ------------------------------------------------------------------
+
+    def notice_arrived(self) -> None:
+        """The event manager queued a notice; begin delivery if possible."""
+        if not self.alive or self.state == TERMINATING:
+            return
+        if self.suspended_by_event:
+            return  # current delivery will drain the queue
+        if self.state == BLOCKED:
+            # Suspended at its wait point immediately.
+            self.cluster.events.start_delivery(self)
+        # RUNNING / NEW: the next _step checks pending_notices.
+
+    def finish(self, value: Any = None, error: BaseException | None = None,
+               state: str = DONE) -> None:
+        """Mark the thread finished and resolve its completion future."""
+        if not self.alive:
+            return
+        self.state = state
+        self.exit_reason = repr(error) if error is not None else "returned"
+        if error is not None:
+            self.completion.fail(error)
+        else:
+            self.completion.resolve(value)
+
+    def unwind_close(self, frame: Activation) -> BaseException | None:
+        """Throw ThreadTerminated into one frame during termination.
+
+        User ``finally`` blocks run; a frame that *catches* the
+        termination and keeps yielding is forcibly closed (cleanup work
+        belongs in TERMINATE handlers, not in entry-point ``except``
+        clauses). Returns the exception the frame escaped with, if any
+        interesting one.
+        """
+        try:
+            frame.gen.throw(ThreadTerminated(f"{self.tid} terminated"))
+        except (StopIteration, ThreadTerminated):
+            return None
+        except BaseException as exc:  # noqa: BLE001 - cleanup crash
+            return exc
+        # The generator swallowed the termination and yielded again.
+        frame.gen.close()
+        return None

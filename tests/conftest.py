@@ -1,0 +1,117 @@
+"""Shared fixtures and sample distributed objects for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster, ClusterConfig, Decision, DistObject, entry, handler_entry, on_event
+
+
+@pytest.fixture()
+def cluster():
+    """A small default cluster (4 nodes, path locator, RPC transport)."""
+    return Cluster(ClusterConfig(n_nodes=4))
+
+
+def make_cluster(**overrides) -> Cluster:
+    return Cluster(ClusterConfig(**overrides))
+
+
+class Echo(DistObject):
+    """Minimal entry-point object."""
+
+    @entry
+    def echo(self, ctx, value):
+        yield ctx.compute(1e-5)
+        return value
+
+    @entry
+    def where(self, ctx):
+        yield ctx.compute(0)
+        return ctx.node
+
+    @entry
+    def fail(self, ctx, exc):
+        yield ctx.compute(0)
+        raise exc
+
+
+class Relay(DistObject):
+    """Invokes another object, for building cross-node call chains."""
+
+    @entry
+    def call(self, ctx, cap, entry_name, *args):
+        result = yield ctx.invoke(cap, entry_name, *args)
+        return result
+
+    @entry
+    def chain(self, ctx, caps, leaf_cap, leaf_entry, *args):
+        """Hop through ``caps`` (more Relays), then invoke the leaf."""
+        if caps:
+            result = yield ctx.invoke(caps[0], "chain", caps[1:],
+                                      leaf_cap, leaf_entry, *args)
+            return result
+        result = yield ctx.invoke(leaf_cap, leaf_entry, *args)
+        return result
+
+
+class Sleeper(DistObject):
+    """Blocks for a while — a convenient suspension target for events."""
+
+    @entry
+    def hold(self, ctx, seconds=10.0):
+        yield ctx.sleep(seconds)
+        return "woke"
+
+    @entry
+    def hold_forever(self, ctx):
+        while True:
+            yield ctx.sleep(1.0)
+
+    @entry
+    def hop_and_hold(self, ctx, caps, seconds=10.0):
+        """Migrate through caps, then hold at the last one."""
+        if caps:
+            result = yield ctx.invoke(caps[0], "hop_and_hold", caps[1:],
+                                      seconds)
+            return result
+        yield ctx.sleep(seconds)
+        return "woke-deep"
+
+
+class Recorder(DistObject):
+    """Object-based handlers that record what they see."""
+
+    def __init__(self):
+        super().__init__()
+        self.events = []
+        self.aborted_tids = []
+
+    @entry
+    def poke(self, ctx):
+        yield ctx.compute(0)
+        return "poked"
+
+    @on_event("PING")
+    def on_ping(self, ctx, block):
+        yield ctx.compute(1e-5)
+        self.events.append(("PING", block.user_data, ctx.now))
+        return "pong"
+
+    @on_event("ABORT")
+    def on_abort(self, ctx, block):
+        yield ctx.compute(0)
+        data = block.user_data or {}
+        self.aborted_tids.append(data.get("tid"))
+
+    @handler_entry
+    def thread_ping(self, ctx, block):
+        yield ctx.compute(1e-5)
+        self.events.append(("thread-PING", ctx.tid, ctx.now))
+        return Decision.RESUME
+
+
+def run_to_result(cluster, thread, until=None):
+    """Run the cluster and return the thread's result."""
+    cluster.run(until=until)
+    return thread.completion.result()

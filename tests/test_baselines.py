@@ -1,0 +1,145 @@
+"""Tests for the §9 baseline models and the E8 scenario matrix."""
+
+import pytest
+
+from repro.baselines import (
+    MachExceptionModel,
+    MachTask,
+    SCENARIOS,
+    UnixProcess,
+    UnixSignalModel,
+    run_all,
+    run_doct,
+    run_mach,
+    run_unix,
+    score,
+)
+
+
+class TestUnixModel:
+    def test_kill_runs_handler_on_some_thread(self):
+        model = UnixSignalModel(seed=1)
+        proc = model.register(UnixProcess(machine=0))
+        proc.spawn_thread("a")
+        proc.spawn_thread("b")
+        ran = []
+        proc.sigaction("SIGUSR1", lambda t, s: ran.append(t.name))
+        outcome = model.kill(proc.pid, "SIGUSR1")
+        assert outcome.delivered
+        assert ran and ran[0] in ("a", "b")
+
+    def test_arbitrary_thread_choice(self):
+        """Over many deliveries the handler lands on different threads —
+        the OSF/1 ad-hoc behaviour the paper criticises."""
+        model = UnixSignalModel(seed=2)
+        proc = model.register(UnixProcess(machine=0))
+        for i in range(4):
+            proc.spawn_thread(f"t{i}")
+        proc.sigaction("SIGUSR1", lambda t, s: None)
+        victims = {model.kill(proc.pid, "SIGUSR1").thread.name
+                   for _ in range(50)}
+        assert len(victims) > 1
+
+    def test_blocked_threads_skipped(self):
+        model = UnixSignalModel(seed=3)
+        proc = model.register(UnixProcess(machine=0))
+        a = proc.spawn_thread("a")
+        b = proc.spawn_thread("b")
+        a.blocked_signals.add("SIGUSR1")
+        proc.sigaction("SIGUSR1", lambda t, s: None)
+        for _ in range(10):
+            assert model.kill(proc.pid, "SIGUSR1").thread is b
+
+    def test_no_threads_no_delivery(self):
+        model = UnixSignalModel()
+        proc = model.register(UnixProcess(machine=0))
+        proc.sigaction("SIGUSR1", lambda t, s: None)
+        assert not model.kill(proc.pid, "SIGUSR1").delivered
+
+    def test_cross_machine_blocked(self):
+        model = UnixSignalModel()
+        proc = model.register(UnixProcess(machine=1))
+        proc.spawn_thread("t")
+        proc.sigaction("SIGUSR1", lambda t, s: None)
+        assert not model.kill(proc.pid, "SIGUSR1", from_machine=0).delivered
+
+    def test_thread_addressed_kill_unsupported(self):
+        model = UnixSignalModel()
+        proc = model.register(UnixProcess(machine=0))
+        proc.spawn_thread("t")
+        assert not model.kill_thread(proc.pid, "t", "SIGUSR1").delivered
+
+    def test_unknown_pid(self):
+        model = UnixSignalModel()
+        assert not model.kill(99999, "SIGUSR1").delivered
+
+
+class TestMachModel:
+    def test_thread_port_preferred(self):
+        model = MachExceptionModel()
+        task = model.register(MachTask(machine=0))
+        thread = task.spawn_thread("t")
+        thread.exception_port = lambda t, e: None
+        task.error_port = lambda t, e: None
+        outcome = model.raise_exception(task.task_id, thread,
+                                        "EXC_ARITHMETIC")
+        assert outcome.handled_by == "thread-port"
+
+    def test_static_partition_routes_by_class(self):
+        model = MachExceptionModel()
+        task = model.register(MachTask(machine=0))
+        thread = task.spawn_thread("t")
+        task.error_port = lambda t, e: None
+        task.debug_port = lambda t, e: None
+        assert model.raise_exception(
+            task.task_id, thread, "EXC_ARITHMETIC").handled_by == \
+            "task-error-port"
+        assert model.raise_exception(
+            task.task_id, thread, "EXC_BREAKPOINT").handled_by == \
+            "task-debug-port"
+
+    def test_missing_class_port_fails(self):
+        model = MachExceptionModel()
+        task = model.register(MachTask(machine=0))
+        thread = task.spawn_thread("t")
+        task.error_port = lambda t, e: None  # no debug port
+        outcome = model.raise_exception(task.task_id, thread,
+                                        "EXC_BREAKPOINT")
+        assert not outcome.delivered
+        assert "static" in outcome.reason
+
+    def test_taskless_and_remote_fail(self):
+        model = MachExceptionModel()
+        empty = model.register(MachTask(machine=0))
+        empty.error_port = lambda t, e: None
+        assert not model.raise_exception(empty.task_id, None,
+                                         "EXC_ARITHMETIC").delivered
+        remote = model.register(MachTask(machine=1))
+        thread = remote.spawn_thread("t")
+        remote.error_port = lambda t, e: None
+        assert not model.raise_exception(remote.task_id, thread,
+                                         "EXC_ARITHMETIC",
+                                         from_machine=0).delivered
+
+
+class TestScenarioMatrix:
+    def test_doct_wins_every_scenario(self):
+        results = run_doct(seed=0)
+        assert len(results) == len(SCENARIOS)
+        assert score(results) == 1.0
+
+    def test_unix_fails_most_scenarios(self):
+        assert score(run_unix(seed=0)) <= 0.4
+
+    def test_mach_partial(self):
+        results = run_mach()
+        assert score(results) < 1.0
+        by_name = {r.scenario: r for r in results}
+        assert by_name["specific-thread-in-shared-space"].correct
+        assert not by_name["passive-object"].correct
+
+    def test_run_all_shape(self):
+        table = run_all(seed=0)
+        assert set(table) == {"unix", "mach", "doct"}
+        for results in table.values():
+            assert [r.scenario for r in results] == list(SCENARIOS)

@@ -1,0 +1,196 @@
+"""Tests for the benchmark harness, workloads and experiment plumbing."""
+
+import pytest
+
+from repro.bench.harness import Table, ratio, sweep
+from repro.bench.workloads import (
+    build_cluster,
+    ctrl_c_app,
+    deep_thread,
+    lock_chain,
+    object_event_storm,
+    transport_workload,
+)
+from repro.errors import BenchmarkError
+from repro.net import Message, MatrixLatency
+
+
+class TestTable:
+    def test_add_and_column(self):
+        table = Table(title="t", columns=["a", "b"])
+        table.add(1, "x")
+        table.add(2, "y")
+        assert table.column("a") == [1, 2]
+        assert table.column("b") == ["x", "y"]
+
+    def test_row_arity_checked(self):
+        table = Table(title="t", columns=["a", "b"])
+        with pytest.raises(BenchmarkError):
+            table.add(1)
+
+    def test_unknown_column(self):
+        table = Table(title="t", columns=["a"])
+        with pytest.raises(BenchmarkError):
+            table.column("zzz")
+
+    def test_render_contains_everything(self):
+        table = Table(title="demo", columns=["k", "v"])
+        table.add("alpha", 3.14159)
+        table.note("a note")
+        text = table.render()
+        assert "demo" in text
+        assert "alpha" in text
+        assert "3.14159" in text
+        assert "note: a note" in text
+
+    def test_render_empty_table(self):
+        table = Table(title="empty", columns=["only"])
+        assert "only" in table.render()
+
+    def test_sweep_and_ratio(self):
+        assert sweep([1, 2, 3], lambda x: x * 2) == [2, 4, 6]
+        assert ratio(6, 3) == 2
+        assert ratio(1, 0) == float("inf")
+
+
+class TestWorkloadBuilders:
+    def test_deep_thread_depth(self):
+        cluster = build_cluster(n_nodes=5)
+        thread = deep_thread(cluster, depth=3)
+        assert thread.alive
+        assert len(thread.frames) == 3
+        assert thread.current_node != 0
+
+    def test_object_event_storm_counts(self):
+        cluster = object_event_storm("master", events=7)
+        assert cluster.kernels[1].objects.events_served == 7
+
+    def test_lock_chain_rig(self):
+        rig = lock_chain(locks=3)
+        manager = rig.cluster.get_object(rig.manager_cap)
+        assert manager.acquires == 3
+        assert len(rig.thread.attributes.handlers_for("TERMINATE")) == 3
+
+    def test_ctrl_c_rig_group(self):
+        rig = ctrl_c_app(workers=2, n_nodes=4)
+        assert len(rig.cluster.groups.members(rig.gid)) == 3
+
+    def test_transport_workload_shapes(self):
+        run = transport_workload("rpc", workers=2, rounds=2)
+        assert set(run.per_thread_traces) == {"w0", "w1"}
+        assert run.final_total >= 2
+
+
+class TestMatrixLatency:
+    def test_explicit_link_and_default(self):
+        model = MatrixLatency(default=0.5)
+        model.set_link(0, 1, 0.1)
+        msg = Message(src=0, dst=1, mtype="x")
+        assert model.delay(0, 1, msg) == 0.1
+        assert model.delay(1, 0, msg) == 0.1  # symmetric
+        assert model.delay(0, 2, msg) == 0.5  # default
+        assert model.delay(2, 2, msg) == model.local
+
+    def test_asymmetric_link(self):
+        model = MatrixLatency()
+        model.set_link(0, 1, 0.2, symmetric=False)
+        msg = Message(src=0, dst=1, mtype="x")
+        assert model.delay(0, 1, msg) == 0.2
+        assert model.delay(1, 0, msg) == model.default
+
+    def test_negative_rejected(self):
+        from repro.errors import NetworkError
+
+        with pytest.raises(NetworkError):
+            MatrixLatency(default=-1.0)
+        model = MatrixLatency()
+        with pytest.raises(NetworkError):
+            model.set_link(0, 1, -0.1)
+
+    def test_rack_topology_affects_invocation_time(self):
+        """Two racks: cross-rack invocations pay the uplink."""
+        from repro import Cluster, ClusterConfig
+        from tests.conftest import Echo
+
+        model = MatrixLatency(default=1e-4)   # fast intra-rack default
+        for a in (0, 1):
+            for b in (2, 3):
+                model.set_link(a, b, 5e-3)    # slow uplink
+        cluster = Cluster(ClusterConfig(n_nodes=4, thread_create_cost=0),
+                          latency=model)
+        near = cluster.create_object(Echo, node=1)
+        far = cluster.create_object(Echo, node=3)
+        t_near = cluster.spawn(near, "echo", 1, at=0)
+        cluster.run()
+        near_time = cluster.now
+        t_far = cluster.spawn(far, "echo", 1, at=0)
+        cluster.run()
+        far_time = cluster.now - near_time
+        assert far_time > 5 * near_time
+
+
+class TestExperimentSmoke:
+    """Tiny-parameter runs of each experiment: they complete and keep
+    their basic invariants. The real assertions live in benchmarks/."""
+
+    def test_table1(self):
+        from repro.bench.experiments import run_table1
+
+        table = run_table1()
+        assert len(table.rows) == 6
+
+    def test_e2(self):
+        from repro.bench.experiments import run_e2
+
+        table = run_e2(cluster_sizes=(2, 4), depths=(1,), posts=3)
+        assert len(table.rows) == 6  # 3 locators x 2 sizes
+
+    def test_e3(self):
+        from repro.bench.experiments import run_e3
+
+        table = run_e3(event_counts=(5,))
+        assert len(table.rows) == 2
+
+    def test_e4(self):
+        from repro.bench.experiments import run_e4
+
+        table = run_e4(lock_counts=(2,))
+        assert table.column("released %") == [100.0]
+
+    def test_e5(self):
+        from repro.bench.experiments import run_e5
+
+        table = run_e5(worker_counts=(2,), n_nodes=4)
+        assert table.column("survivors") == [0]
+
+    def test_e6(self):
+        from repro.bench.experiments import run_e6
+
+        table = run_e6(faulter_counts=(1,), n_nodes=3)
+        assert len(table.rows) == 2
+
+    def test_e7(self):
+        from repro.bench.experiments import run_e7
+
+        table = run_e7(workers=2, rounds=2)
+        assert table.column("per-thread handler traces equal") == \
+            ["yes", "yes"]
+
+    def test_e8(self):
+        from repro.bench.experiments import run_e8
+
+        table = run_e8(seeds=range(2))
+        assert table.rows[-1][0] == "OVERALL"
+
+    def test_e9(self):
+        from repro.bench.experiments import run_e9
+
+        table = run_e9(service_times=(0.0,))
+        assert table.column("async window (ms)") == [0.0]
+
+    def test_main_module_subset(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["e4"]) == 0
+        assert "TERMINATE-chained" in capsys.readouterr().out
+        assert main(["nope"]) == 2

@@ -1,0 +1,102 @@
+"""Tests for the Cluster facade: naming, lookups, diagnostics."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.errors import KernelError, NameServiceError, UnknownThreadError
+from tests.conftest import Echo, Sleeper, make_cluster
+
+
+class TestObjectCreation:
+    def test_create_with_name_binding(self):
+        cluster = make_cluster(n_nodes=2)
+        cap = cluster.create_object(Echo, node=1, name="echo-service")
+        assert cluster.names.lookup("echo-service") == cap
+
+    def test_duplicate_name_rejected(self):
+        cluster = make_cluster(n_nodes=2)
+        cluster.create_object(Echo, node=0, name="svc")
+        with pytest.raises(NameServiceError):
+            cluster.create_object(Echo, node=1, name="svc")
+
+    def test_create_on_unknown_node(self):
+        cluster = make_cluster(n_nodes=2)
+        with pytest.raises(KernelError):
+            cluster.create_object(Echo, node=9)
+
+    def test_get_object_unknown_oid(self):
+        cluster = make_cluster(n_nodes=1)
+        with pytest.raises(KernelError):
+            cluster.get_object(424242)
+
+    def test_oids_deterministic_per_cluster(self):
+        a = make_cluster(n_nodes=1)
+        b = make_cluster(n_nodes=1)
+        assert a.create_object(Echo).oid == b.create_object(Echo).oid
+
+
+class TestThreadLookup:
+    def test_thread_by_tid(self):
+        cluster = make_cluster(n_nodes=2)
+        sleeper = cluster.create_object(Sleeper, node=1)
+        thread = cluster.spawn(sleeper, "hold", 10.0, at=0)
+        cluster.run(until=0.5)
+        assert cluster.thread(thread.tid) is thread
+
+    def test_dead_thread_lookup_raises(self):
+        cluster = make_cluster(n_nodes=2)
+        echo = cluster.create_object(Echo, node=1)
+        thread = cluster.spawn(echo, "echo", 1, at=0)
+        cluster.run()
+        with pytest.raises(UnknownThreadError):
+            cluster.thread(thread.tid)
+
+
+class TestDiagnostics:
+    def test_quiescent_after_run(self):
+        cluster = make_cluster(n_nodes=2)
+        echo = cluster.create_object(Echo, node=1)
+        cluster.spawn(echo, "echo", 1, at=0)
+        assert not cluster.quiescent()
+        cluster.run()
+        assert cluster.quiescent()
+
+    def test_message_stats_shape(self):
+        cluster = make_cluster(n_nodes=2)
+        echo = cluster.create_object(Echo, node=1)
+        cluster.spawn(echo, "echo", 1, at=0)
+        cluster.run()
+        stats = cluster.message_stats()
+        assert stats["sent"] == stats["delivered"] > 0
+        assert stats["dropped"] == 0
+
+    def test_now_tracks_simulator(self):
+        cluster = make_cluster(n_nodes=1)
+        cluster.run(until=1.25)
+        assert cluster.now == 1.25
+
+    def test_new_group_rooted_at_node(self):
+        cluster = make_cluster(n_nodes=3)
+        gid = cluster.new_group(root=2)
+        assert gid.root == 2
+        assert cluster.groups.exists(gid)
+
+
+class TestConfigVariants:
+    @pytest.mark.parametrize("locator", ["path", "broadcast", "multicast"])
+    @pytest.mark.parametrize("mode", ["master", "per-event"])
+    def test_all_config_combinations_boot_and_run(self, locator, mode):
+        cluster = Cluster(ClusterConfig(n_nodes=3, locator=locator,
+                                        object_event_mode=mode))
+        echo = cluster.create_object(Echo, node=2)
+        thread = cluster.spawn(echo, "echo", "ok", at=0)
+        cluster.run()
+        assert thread.completion.result() == "ok"
+
+    def test_single_node_cluster_works(self):
+        cluster = Cluster(ClusterConfig(n_nodes=1))
+        echo = cluster.create_object(Echo, node=0)
+        thread = cluster.spawn(echo, "echo", 5, at=0)
+        cluster.run()
+        assert thread.completion.result() == 5
+        assert cluster.fabric.stats.sent == 0  # everything local

@@ -1,0 +1,124 @@
+"""Additional DSM manager internals: mode transitions, services, errors."""
+
+import pytest
+
+from repro import DistObject, TRANSPORT_DSM, entry
+from repro.dsm.page import MODE_NONE, MODE_READ, MODE_WRITE
+from repro.errors import SegmentError
+from tests.conftest import make_cluster
+
+
+class Word(DistObject):
+    dsm_fields = {"w": 0}
+
+    @entry
+    def read_it(self, ctx):
+        value = yield ctx.read("w")
+        return value
+
+    @entry
+    def write_it(self, ctx, value):
+        yield ctx.write("w", value)
+        return value
+
+    @entry
+    def read_then_write(self, ctx, value):
+        yield ctx.read("w")
+        yield ctx.write("w", value)
+        return value
+
+    @entry
+    def read_missing(self, ctx):
+        value = yield ctx.read("no_such_field")
+        return value
+
+
+class TestModeTransitions:
+    def _rig(self, n_nodes=3):
+        cluster = make_cluster(n_nodes=n_nodes)
+        cap = cluster.create_object(Word, node=0, transport=TRANSPORT_DSM)
+        segment = cluster.dsm.segment_of(cap.oid)
+        page = segment.page_of("w")
+        return cluster, cap, segment, page
+
+    def test_read_then_upgrade_to_write(self):
+        cluster, cap, segment, page = self._rig()
+        thread = cluster.spawn(cap, "read_then_write", 9, at=1)
+        cluster.run()
+        assert thread.completion.result() == 9
+        assert cluster.dsm.local_mode(1, segment, page) == MODE_WRITE
+        # the upgrade was a second directory transaction
+        assert cluster.dsm.protocol_stats()["write_misses"] == 1
+        assert cluster.dsm.protocol_stats()["read_misses"] == 1
+
+    def test_write_does_not_grant_others(self):
+        cluster, cap, segment, page = self._rig()
+        cluster.spawn(cap, "write_it", 1, at=1)
+        cluster.run()
+        assert cluster.dsm.local_mode(2, segment, page) == MODE_NONE
+        assert cluster.dsm.local_mode(0, segment, page) == MODE_NONE
+
+    def test_three_readers_all_shared(self):
+        cluster, cap, segment, page = self._rig()
+        for node in range(3):
+            cluster.spawn(cap, "read_it", at=node)
+        cluster.run()
+        for node in range(3):
+            assert cluster.dsm.local_mode(node, segment, page) == MODE_READ
+
+    def test_unknown_field_read_fails_thread(self):
+        cluster, cap, segment, page = self._rig()
+        thread = cluster.spawn(cap, "read_missing", at=1)
+        cluster.run()
+        with pytest.raises(SegmentError):
+            thread.completion.result()
+
+    def test_segment_of_unknown_oid(self):
+        cluster, cap, segment, page = self._rig()
+        with pytest.raises(SegmentError):
+            cluster.dsm.segment_of(99999)
+
+    def test_install_page_on_enumerated_segment_updates_values(self):
+        cluster, cap, segment, page = self._rig()
+        cluster.dsm.install_page(cap.oid, page.page_id, {"w": 77})
+        thread = cluster.spawn(cap, "read_it", at=2)
+        cluster.run()
+        assert thread.completion.result() == 77
+
+
+class TestConcurrentUpgradeRace:
+    def test_simultaneous_read_write_from_same_node(self):
+        """Two threads on one node, one reading one writing: the node's
+        read request may be processed after its own write grant — the
+        directory answers with the stronger mode instead of crashing."""
+        cluster = make_cluster(n_nodes=3)
+        cap = cluster.create_object(Word, node=0, transport=TRANSPORT_DSM)
+        reader = cluster.spawn(cap, "read_it", at=2)
+        writer = cluster.spawn(cap, "write_it", 5, at=2)
+        cluster.run()
+        assert writer.completion.result() == 5
+        assert reader.completion.result() in (0, 5)
+        segment = cluster.dsm.segment_of(cap.oid)
+        page = segment.page_of("w")
+        assert cluster.dsm.local_mode(2, segment, page) == MODE_WRITE
+        assert cluster.dsm.log.check() == []
+
+    def test_many_nodes_hammering_one_page(self):
+        cluster = make_cluster(n_nodes=6)
+        cap = cluster.create_object(Word, node=0, transport=TRANSPORT_DSM)
+        threads = []
+        for node in range(6):
+            threads.append(cluster.spawn(cap, "read_then_write",
+                                         node, at=node))
+            threads.append(cluster.spawn(cap, "read_it", at=node))
+        cluster.run()
+        for thread in threads:
+            thread.completion.result()
+        assert cluster.dsm.log.check() == []
+        # exactly one exclusive owner (or shared) at quiescence
+        segment = cluster.dsm.segment_of(cap.oid)
+        page = segment.page_of("w")
+        entry_ = cluster.dsm.directory_entry(segment, page)
+        writers = [n for n in range(6)
+                   if cluster.dsm.local_mode(n, segment, page) == MODE_WRITE]
+        assert len(writers) <= 1

@@ -1,0 +1,306 @@
+"""Edge-case interleavings of the event machinery.
+
+These are the scenarios the paper's prose glosses over: events arriving
+during handler execution, termination racing delivery, handlers mutating
+the registry mid-chain, events chasing threads mid-migration.
+"""
+
+import pytest
+
+from repro import Decision, DistObject, entry, handler_entry
+from repro.errors import DeadThreadError
+from tests.conftest import Sleeper, make_cluster
+
+
+def _rig(n_nodes=3, **cfg):
+    cluster = make_cluster(n_nodes=n_nodes, **cfg)
+    cluster.register_event("EVT")
+    cluster.register_event("EVT2")
+    return cluster
+
+
+class TestQueuedNotices:
+    def test_multiple_pending_notices_delivered_in_order(self):
+        cluster = _rig()
+        seen = []
+
+        class App(DistObject):
+            @entry
+            def go(self, ctx):
+                def h(hctx, block):
+                    seen.append(block.user_data)
+                    yield hctx.compute(0)
+
+                yield ctx.attach_handler("EVT", h)
+                yield ctx.compute(0.5)  # events queue during the compute
+                yield ctx.sleep(0.5)
+                return seen
+
+        app = cluster.create_object(App, node=0)
+        thread = cluster.spawn(app, "go", at=0)
+        cluster.run(until=0.1)
+        for i in range(4):
+            cluster.raise_event("EVT", thread.tid, from_node=1,
+                                user_data=i)
+            cluster.run(until=cluster.now + 0.02)
+        cluster.run()
+        assert thread.completion.result() == [0, 1, 2, 3]
+
+    def test_event_raised_during_handler_is_queued(self):
+        cluster = _rig()
+        order = []
+
+        class App(DistObject):
+            @entry
+            def go(self, ctx):
+                def h1(hctx, block):
+                    order.append(("h1", block.user_data))
+                    yield hctx.sleep(0.05)  # slow handler
+                    order.append(("h1-done", block.user_data))
+
+                yield ctx.attach_handler("EVT", h1)
+                yield ctx.sleep(1.0)
+                return order
+
+        app = cluster.create_object(App, node=0)
+        thread = cluster.spawn(app, "go", at=0)
+        cluster.run(until=0.1)
+        cluster.raise_event("EVT", thread.tid, from_node=1, user_data="a")
+        cluster.run(until=cluster.now + 0.01)
+        # second event arrives while the first handler still runs
+        cluster.raise_event("EVT", thread.tid, from_node=1, user_data="b")
+        cluster.run()
+        assert order == [("h1", "a"), ("h1-done", "a"),
+                         ("h1", "b"), ("h1-done", "b")]
+
+    def test_terminate_queued_behind_user_event(self):
+        cluster = _rig()
+        seen = []
+
+        class App(DistObject):
+            @entry
+            def go(self, ctx):
+                def h(hctx, block):
+                    seen.append(block.event)
+                    yield hctx.sleep(0.05)
+
+                yield ctx.attach_handler("EVT", h)
+                yield ctx.sleep(100.0)
+
+        app = cluster.create_object(App, node=0)
+        thread = cluster.spawn(app, "go", at=0)
+        cluster.run(until=0.1)
+        cluster.raise_event("EVT", thread.tid, from_node=1)
+        cluster.run(until=cluster.now + 0.005)
+        cluster.raise_event("TERMINATE", thread.tid, from_node=1)
+        cluster.run()
+        # the user event's handler finished before the terminate applied
+        assert seen == ["EVT"]
+        assert thread.state == "terminated"
+
+
+class TestRegistryMutationDuringDelivery:
+    def test_handler_attaching_handler_for_other_event(self):
+        cluster = _rig()
+        seen = []
+
+        class App(DistObject):
+            @entry
+            def go(self, ctx):
+                def h2(hctx, block):
+                    seen.append("h2")
+                    yield hctx.compute(0)
+
+                def h1(hctx, block):
+                    seen.append("h1")
+                    # arm a handler for a different event from inside a
+                    # handler (the chain is shared thread state)
+                    yield hctx.attach_handler("EVT2", h2)
+
+                yield ctx.attach_handler("EVT", h1)
+                yield ctx.sleep(2.0)
+                return seen
+
+        app = cluster.create_object(App, node=0)
+        thread = cluster.spawn(app, "go", at=0)
+        cluster.run(until=0.1)
+        cluster.raise_event("EVT", thread.tid, from_node=1)
+        cluster.run(until=cluster.now + 0.3)
+        cluster.raise_event("EVT2", thread.tid, from_node=1)
+        cluster.run()
+        assert thread.completion.result() == ["h1", "h2"]
+
+    def test_handler_detaching_itself_runs_once(self):
+        cluster = _rig()
+        seen = []
+
+        class App(DistObject):
+            @entry
+            def go(self, ctx):
+                def once(hctx, block):
+                    seen.append(block.user_data)
+                    yield hctx.detach_handler("EVT")
+                    return Decision.RESUME
+
+                yield ctx.attach_handler("EVT", once)
+                yield ctx.sleep(2.0)
+                return seen
+
+        app = cluster.create_object(App, node=0)
+        thread = cluster.spawn(app, "go", at=0)
+        cluster.run(until=0.1)
+        cluster.raise_event("EVT", thread.tid, from_node=1, user_data=1)
+        cluster.run(until=cluster.now + 0.3)
+        cluster.raise_event("EVT", thread.tid, from_node=1, user_data=2)
+        cluster.run()
+        # second raise found no handler; default for user events = RESUME
+        assert thread.completion.result() == [1]
+
+
+class TestRaceWithTermination:
+    def test_event_to_terminating_thread_reports_dead(self):
+        cluster = _rig()
+        sleeper = cluster.create_object(Sleeper, node=2)
+        thread = cluster.spawn(sleeper, "hold", 100.0, at=0)
+        cluster.run(until=0.1)
+        cluster.invoker.terminate_thread(thread)
+        # raise before the unwind finishes propagating
+        future = cluster.raise_and_wait("EVT", thread.tid, from_node=1)
+        cluster.run()
+        with pytest.raises(DeadThreadError):
+            future.result()
+
+    def test_sync_raiser_resumed_when_target_terminated_by_handler(self):
+        cluster = _rig()
+
+        class App(DistObject):
+            @entry
+            def go(self, ctx):
+                def h(hctx, block):
+                    yield hctx.compute(0)
+                    return Decision.TERMINATE
+
+                yield ctx.attach_handler("EVT", h)
+                yield ctx.sleep(100.0)
+
+        app = cluster.create_object(App, node=0)
+        thread = cluster.spawn(app, "go", at=0)
+        cluster.run(until=0.1)
+        future = cluster.raise_and_wait("EVT", thread.tid, from_node=1)
+        cluster.run()
+        # the raiser is resumed even though the target died handling it
+        assert future.done
+        assert thread.state == "terminated"
+
+    def test_terminated_raiser_does_not_break_delivery(self):
+        cluster = _rig()
+        seen = []
+
+        class Raiser(DistObject):
+            @entry
+            def fire_and_die(self, ctx, target_tid):
+                yield ctx.raise_event("EVT", target_tid, user_data="gift")
+                yield ctx.sleep(100.0)
+
+        class Target(DistObject):
+            @entry
+            def absorb(self, ctx):
+                def h(hctx, block):
+                    seen.append(block.user_data)
+                    yield hctx.compute(0)
+
+                yield ctx.attach_handler("EVT", h)
+                yield ctx.sleep(1.0)
+                return seen
+
+        target_obj = cluster.create_object(Target, node=2)
+        raiser_obj = cluster.create_object(Raiser, node=1)
+        target = cluster.spawn(target_obj, "absorb", at=2)
+        cluster.run(until=0.1)
+        raiser = cluster.spawn(raiser_obj, "fire_and_die", target.tid,
+                               at=1)
+        cluster.run(until=0.15)
+        cluster.invoker.terminate_thread(raiser)
+        cluster.run()
+        assert target.completion.result() == ["gift"]
+
+
+class TestChasing:
+    def test_event_follows_thread_that_moves_after_locate(self):
+        """The thread migrates between locate and delivery; the notice is
+        forwarded (or relocated) rather than lost."""
+        cluster = _rig(n_nodes=4, locator="path")
+
+        class Mover(DistObject):
+            @entry
+            def shuttle(self, ctx, stops, hits):
+                def h(hctx, block):
+                    hits.append(hctx.node)
+                    yield hctx.compute(0)
+
+                yield ctx.attach_handler("EVT", h)
+                for stop in stops:
+                    yield ctx.invoke(stop, "pause")
+                yield ctx.sleep(5.0)
+                return hits
+
+            @entry
+            def pause(self, ctx):
+                yield ctx.sleep(0.0015)  # shorter than one message hop
+
+        stops = [cluster.create_object(Mover, node=i % 3 + 1)
+                 for i in range(6)]
+        home = cluster.create_object(Mover, node=0)
+        hits: list[int] = []
+        thread = cluster.spawn(home, "shuttle", stops, hits, at=0)
+        cluster.run(until=0.002)  # mid-flight
+        cluster.raise_event("EVT", thread.tid, from_node=3)
+        cluster.run()
+        assert len(hits) == 1  # delivered exactly once, wherever it was
+
+    def test_group_raise_with_members_on_every_node(self):
+        cluster = _rig(n_nodes=6)
+        sleeper = cluster.create_object(Sleeper, node=0)
+        gid = cluster.new_group()
+        members = [cluster.spawn(sleeper, "hold", 100.0, at=i, group=gid)
+                   for i in range(6)]
+        cluster.run(until=0.5)
+        future = cluster.raise_and_wait("TERMINATE", gid, from_node=3)
+        cluster.run()
+        assert future.done
+        assert all(m.state == "terminated" for m in members)
+        assert not cluster.groups.exists(gid)
+
+
+class TestSnapshotContents:
+    def test_snapshot_reflects_suspension_point(self):
+        cluster = _rig()
+        captured = []
+
+        class App(DistObject):
+            @entry
+            def outer(self, ctx, inner_cap):
+                def h(hctx, block):
+                    captured.append(block.snapshot)
+                    yield hctx.compute(0)
+
+                yield ctx.attach_handler("EVT", h)
+                result = yield ctx.invoke(inner_cap, "inner")
+                return result
+
+            @entry
+            def inner(self, ctx):
+                yield ctx.sleep(2.0)
+                return "ok"
+
+        outer_obj = cluster.create_object(App, node=0)
+        inner_obj = cluster.create_object(App, node=2)
+        thread = cluster.spawn(outer_obj, "outer", inner_obj, at=0)
+        cluster.run(until=0.5)
+        cluster.raise_event("EVT", thread.tid, from_node=1)
+        cluster.run()
+        (snapshot,) = captured
+        assert [f.entry for f in snapshot.frames] == ["outer", "inner"]
+        assert snapshot.frames[0].node == 0
+        assert snapshot.frames[1].node == 2
+        assert snapshot.program_counter[1] == "inner"

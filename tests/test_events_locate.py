@@ -1,0 +1,186 @@
+"""Tests for the §7.1 thread-location strategies."""
+
+import pytest
+
+from repro import ClusterConfig, DistObject, entry
+from repro.errors import DeadThreadError
+from tests.conftest import Relay, Sleeper, make_cluster
+
+
+def _deep_thread(cluster, depth):
+    """Spawn a thread that migrates through `depth` nodes then holds."""
+    n = cluster.config.n_nodes
+    caps = [cluster.create_object(Sleeper, node=(i % (n - 1)) + 1)
+            for i in range(depth)]
+    thread = cluster.spawn(caps[0], "hop_and_hold", caps[1:], 1000.0, at=0)
+    cluster.run(until=1.0)
+    return thread
+
+
+@pytest.mark.parametrize("locator", ["path", "broadcast", "multicast"])
+class TestAllLocators:
+    def test_finds_thread_at_root(self, locator):
+        cluster = make_cluster(n_nodes=4, locator=locator)
+        sleeper = cluster.create_object(Sleeper, node=0)
+        thread = cluster.spawn(sleeper, "hold", 1000.0, at=0)
+        cluster.run(until=0.5)
+        future = cluster.raise_and_wait("TERMINATE", thread.tid, from_node=2)
+        cluster.run()
+        assert thread.state == "terminated"
+
+    def test_finds_migrated_thread(self, locator):
+        cluster = make_cluster(n_nodes=5, locator=locator)
+        thread = _deep_thread(cluster, depth=3)
+        assert thread.current_node != 0
+        future = cluster.raise_and_wait("TERMINATE", thread.tid, from_node=0)
+        cluster.run()
+        assert thread.state == "terminated"
+
+    def test_dead_thread_detected(self, locator):
+        cluster = make_cluster(n_nodes=4, locator=locator)
+        sleeper = cluster.create_object(Sleeper, node=2)
+        thread = cluster.spawn(sleeper, "hold", 0.01, at=0)
+        cluster.run()  # completes
+        assert thread.state == "done"
+        future = cluster.raise_and_wait("TERMINATE", thread.tid, from_node=1)
+        cluster.run()
+        with pytest.raises(DeadThreadError):
+            future.result()
+
+    def test_thread_that_returned_home(self, locator):
+        """After remote calls return, the thread is innermost at its root
+        again — all locators must find it there, not at stale nodes."""
+        cluster = make_cluster(n_nodes=4, locator=locator)
+
+        class HomeBody(DistObject):
+            @entry
+            def run(self, ctx, cap):
+                yield ctx.invoke(cap, "echo_back")
+                yield ctx.sleep(1000.0)
+
+            @entry
+            def echo_back(self, ctx):
+                yield ctx.compute(1e-4)
+                return "back"
+
+        home = cluster.create_object(HomeBody, node=0)
+        far = cluster.create_object(HomeBody, node=3)
+        thread = cluster.spawn(home, "run", far, at=0)
+        cluster.run(until=0.5)
+        assert thread.current_node == 0
+        cluster.raise_and_wait("TERMINATE", thread.tid, from_node=2)
+        cluster.run()
+        assert thread.state == "terminated"
+
+
+class TestMessageCosts:
+    def _posting_cost(self, locator, n_nodes, depth):
+        cluster = make_cluster(n_nodes=n_nodes, locator=locator)
+        thread = _deep_thread(cluster, depth=depth)
+        before = cluster.fabric.stats.sent
+        cluster.raise_event("INTERRUPT", thread.tid, from_node=0)
+        cluster.run(until=cluster.now + 0.5)
+        return cluster.fabric.stats.sent - before
+
+    def test_broadcast_cost_scales_with_cluster_size(self):
+        small = self._posting_cost("broadcast", n_nodes=4, depth=2)
+        large = self._posting_cost("broadcast", n_nodes=12, depth=2)
+        # 'communication intensive and wasteful': grows with n even though
+        # the thread is equally deep
+        assert large > small
+
+    def test_path_cost_scales_with_depth_not_cluster(self):
+        shallow = self._posting_cost("path", n_nodes=12, depth=1)
+        deep = self._posting_cost("path", n_nodes=12, depth=6)
+        assert deep > shallow
+        same_depth_bigger_cluster = self._posting_cost("path", n_nodes=6,
+                                                       depth=1)
+        assert shallow == same_depth_bigger_cluster
+
+    def test_multicast_cost_bounded_by_members(self):
+        # Thread holding at one node: group = {root, holder}; multicast
+        # posting beats broadcast in a large cluster.
+        mcast = self._posting_cost("multicast", n_nodes=12, depth=1)
+        bcast = self._posting_cost("broadcast", n_nodes=12, depth=1)
+        assert mcast < bcast
+
+    def test_local_post_costs_nothing(self):
+        cluster = make_cluster(n_nodes=4, locator="path")
+        sleeper = cluster.create_object(Sleeper, node=0)
+        thread = cluster.spawn(sleeper, "hold", 1000.0, at=0)
+        cluster.run(until=0.5)
+        before = cluster.fabric.stats.sent
+        cluster.raise_event("INTERRUPT", thread.tid, from_node=0)
+        cluster.run(until=cluster.now + 0.2)
+        assert cluster.fabric.stats.sent == before
+
+
+class TestPathLocatorSpecifics:
+    def test_hop_count_equals_path_length(self):
+        cluster = make_cluster(n_nodes=8, locator="path")
+        thread = _deep_thread(cluster, depth=4)
+        cluster.raise_event("INTERRUPT", thread.tid, from_node=0)
+        cluster.run(until=cluster.now + 0.5)
+        routed = [r for r in cluster.tracer.records
+                  if r.category == "event" and r.name == "routed"]
+        assert routed
+        # depth-4 thread: root(0) -> 4 hops along the chain
+        assert routed[-1].get("hops") == 4
+
+    def test_raise_from_nonroot_walks_via_root(self):
+        cluster = make_cluster(n_nodes=6, locator="path")
+        sleeper = cluster.create_object(Sleeper, node=3)
+        thread = cluster.spawn(sleeper, "hold", 1000.0, at=2)
+        cluster.run(until=0.5)
+        before = cluster.fabric.stats.count("locate.path")
+        cluster.raise_event("INTERRUPT", thread.tid, from_node=5)
+        cluster.run(until=cluster.now + 0.5)
+        # 5 -> root(2) -> 3
+        assert cluster.fabric.stats.count("locate.path") - before == 2
+
+
+class TestMulticastMaintenance:
+    def test_membership_tracks_location(self):
+        cluster = make_cluster(n_nodes=4, locator="multicast")
+        thread = _deep_thread(cluster, depth=2)
+        group = thread.tid.multicast_group
+        members = cluster.fabric.multicast_groups.members(group)
+        assert 0 in members  # root
+        assert thread.current_node in members
+
+    def test_group_dissolved_on_termination(self):
+        cluster = make_cluster(n_nodes=4, locator="multicast")
+        thread = _deep_thread(cluster, depth=2)
+        group = thread.tid.multicast_group
+        cluster.raise_event("TERMINATE", thread.tid, from_node=0)
+        cluster.run()
+        assert cluster.fabric.multicast_groups.members(group) == frozenset()
+
+
+class TestChasing:
+    def test_notice_chases_moving_thread(self):
+        """A thread that keeps migrating between nodes is still caught."""
+        cluster = make_cluster(n_nodes=3, locator="path")
+
+        class Bouncer(DistObject):
+            @entry
+            def bounce(self, ctx, other, rounds):
+                for _ in range(rounds):
+                    yield ctx.invoke(other, "quick")
+                    yield ctx.sleep(0.002)
+                yield ctx.sleep(100.0)
+                return "settled"
+
+            @entry
+            def quick(self, ctx):
+                yield ctx.compute(5e-4)
+                return None
+
+        a = cluster.create_object(Bouncer, node=1)
+        b = cluster.create_object(Bouncer, node=2)
+        thread = cluster.spawn(a, "bounce", b, 50, at=0)
+        cluster.run(until=0.01)  # mid-bouncing
+        assert thread.alive
+        cluster.raise_event("TERMINATE", thread.tid, from_node=0)
+        cluster.run()
+        assert thread.state == "terminated"

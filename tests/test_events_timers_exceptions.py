@@ -1,0 +1,269 @@
+"""Tests for thread-attribute timers (§6.2) and exceptions-as-events (§6.1)."""
+
+import pytest
+
+from repro import Decision, DistObject, entry, handler_entry, on_event
+from repro.errors import ThreadTerminated
+from tests.conftest import make_cluster
+
+
+class TestThreadTimers:
+    def test_recurring_timer_delivers_repeatedly(self):
+        cluster = make_cluster(n_nodes=2)
+        ticks = []
+
+        class App(DistObject):
+            @entry
+            def go(self, ctx):
+                def on_timer(hctx, block):
+                    ticks.append(hctx.now)
+                    yield hctx.compute(0)
+
+                yield ctx.attach_handler("TIMER", on_timer)
+                yield ctx.set_timer(0.1, recurring=True)
+                yield ctx.sleep(0.55)
+                return len(ticks)
+
+        app = cluster.create_object(App, node=0)
+        thread = cluster.spawn(app, "go", at=0)
+        cluster.run()
+        assert thread.completion.result() == 5
+
+    def test_one_shot_timer_fires_once(self):
+        cluster = make_cluster(n_nodes=2)
+        ticks = []
+
+        class App(DistObject):
+            @entry
+            def go(self, ctx):
+                def on_timer(hctx, block):
+                    ticks.append(block.user_data)
+                    yield hctx.compute(0)
+
+                yield ctx.attach_handler("TIMER", on_timer)
+                yield ctx.set_timer(0.1, recurring=False, user_data="once")
+                yield ctx.sleep(1.0)
+                return ticks
+
+        app = cluster.create_object(App, node=0)
+        thread = cluster.spawn(app, "go", at=0)
+        cluster.run()
+        assert thread.completion.result() == ["once"]
+
+    def test_timer_reregistered_across_migration(self):
+        """§6.2: the timer follows the thread from node to node."""
+        cluster = make_cluster(n_nodes=3)
+        tick_nodes = []
+
+        class App(DistObject):
+            @entry
+            def go(self, ctx, far):
+                def on_timer(hctx, block):
+                    tick_nodes.append(hctx.node)
+                    yield hctx.compute(0)
+
+                yield ctx.attach_handler("TIMER", on_timer)
+                yield ctx.set_timer(0.1, recurring=True)
+                yield ctx.sleep(0.25)          # ticks at node 0
+                yield ctx.invoke(far, "remote_hold")  # ticks at node 2
+                yield ctx.sleep(0.25)          # ticks at node 0 again
+                return tick_nodes
+
+            @entry
+            def remote_hold(self, ctx):
+                yield ctx.sleep(0.25)
+                return None
+
+        app = cluster.create_object(App, node=0)
+        far = cluster.create_object(App, node=2)
+        thread = cluster.spawn(app, "go", far, at=0)
+        cluster.run()
+        nodes = thread.completion.result()
+        assert 0 in nodes and 2 in nodes
+        # order: first at 0, then at 2, then at 0 again
+        assert nodes[0] == 0
+        assert nodes[-1] == 0
+
+    def test_cancel_timer_stops_delivery(self):
+        cluster = make_cluster(n_nodes=2)
+        ticks = []
+
+        class App(DistObject):
+            @entry
+            def go(self, ctx):
+                def on_timer(hctx, block):
+                    ticks.append(1)
+                    yield hctx.compute(0)
+
+                yield ctx.attach_handler("TIMER", on_timer)
+                spec_id = yield ctx.set_timer(0.1, recurring=True)
+                yield ctx.sleep(0.25)
+                removed = yield ctx.cancel_timer(spec_id)
+                yield ctx.sleep(0.5)
+                return removed, len(ticks)
+
+        app = cluster.create_object(App, node=0)
+        thread = cluster.spawn(app, "go", at=0)
+        cluster.run()
+        removed, count = thread.completion.result()
+        assert removed is True
+        assert count == 2
+
+    def test_timers_disarmed_at_termination(self):
+        cluster = make_cluster(n_nodes=2)
+
+        class App(DistObject):
+            @entry
+            def go(self, ctx):
+                yield ctx.set_timer(0.1, recurring=True)
+                yield ctx.sleep(100.0)
+
+        app = cluster.create_object(App, node=0)
+        thread = cluster.spawn(app, "go", at=0)
+        cluster.run(until=0.05)
+        cluster.invoker.terminate_thread(thread)
+        cluster.run()
+        assert cluster.kernels[0].timers.active() == []
+
+
+class TestExceptionsAsEvents:
+    def test_thread_handler_repairs_exception(self):
+        cluster = make_cluster(n_nodes=2)
+
+        class App(DistObject):
+            @entry
+            def guarded(self, ctx, cap):
+                def repair(hctx, block):
+                    yield hctx.compute(0)
+                    return (Decision.RESUME, "repaired")
+
+                yield ctx.attach_handler("DIV_ZERO", repair)
+                result = yield ctx.invoke(cap, "divide", 1, 0)
+                return result
+
+            @entry
+            def divide(self, ctx, a, b):
+                yield ctx.compute(0)
+                return a / b
+
+        app = cluster.create_object(App, node=0)
+        remote = cluster.create_object(App, node=1)
+        thread = cluster.spawn(app, "guarded", remote, at=0)
+        cluster.run()
+        assert thread.completion.result() == "repaired"
+
+    def test_object_handler_sees_exception_first(self):
+        """§6.1: the object's handler gets called, then may pass on."""
+        cluster = make_cluster(n_nodes=2)
+        order = []
+
+        class App2(DistObject):
+            @entry
+            def crash(self, ctx):
+                yield ctx.compute(0)
+                return 1 / 0
+            @on_event("DIV_ZERO")
+            def obj_level(self, ctx, block):
+                order.append("object-handler")
+                yield ctx.compute(0)
+                return Decision.PROPAGATE
+
+            @entry
+            def guarded(self, ctx, inner):
+                def thread_level(hctx, block):
+                    order.append("thread-handler")
+                    yield hctx.compute(0)
+                    return (Decision.RESUME, -1)
+
+                yield ctx.attach_handler("DIV_ZERO", thread_level)
+                result = yield ctx.invoke(inner, "crash")
+                return result
+
+        inner = cluster.create_object(App2, node=1)
+        outer = cluster.create_object(App2, node=0)
+        thread = cluster.spawn(outer, "guarded", inner, at=0)
+        cluster.run()
+        assert thread.completion.result() == -1
+        assert order == ["object-handler", "thread-handler"]
+
+    def test_object_handler_can_repair_alone(self):
+        cluster = make_cluster(n_nodes=2)
+
+        class Safe(DistObject):
+            @on_event("DIV_ZERO")
+            def fix(self, ctx, block):
+                yield ctx.compute(0)
+                return (Decision.RESUME, 0)
+
+            @entry
+            def divide(self, ctx, a, b):
+                yield ctx.compute(0)
+                return a / b
+
+        cap = cluster.create_object(Safe, node=1)
+        thread = cluster.spawn(cap, "divide", 5, 0, at=0)
+        cluster.run()
+        assert thread.completion.result() == 0
+
+    def test_handler_may_terminate_faulting_thread(self):
+        cluster = make_cluster(n_nodes=2)
+
+        class Strict(DistObject):
+            @on_event("DIV_ZERO")
+            def punish(self, ctx, block):
+                yield ctx.compute(0)
+                return Decision.TERMINATE
+
+            @entry
+            def divide(self, ctx, a, b):
+                yield ctx.compute(0)
+                return a / b
+
+        cap = cluster.create_object(Strict, node=1)
+        thread = cluster.spawn(cap, "divide", 5, 0, at=0)
+        cluster.run()
+        assert thread.state == "terminated"
+        with pytest.raises(ThreadTerminated):
+            thread.completion.result()
+
+    def test_unhandled_exception_propagates_normally(self):
+        cluster = make_cluster(n_nodes=2)
+
+        class Bare(DistObject):
+            @entry
+            def divide(self, ctx, a, b):
+                yield ctx.compute(0)
+                return a / b
+
+        cap = cluster.create_object(Bare, node=1)
+        thread = cluster.spawn(cap, "divide", 5, 0, at=0)
+        cluster.run()
+        assert thread.state == "failed"
+        with pytest.raises(ZeroDivisionError):
+            thread.completion.result()
+
+    def test_snapshot_shows_faulting_frame(self):
+        cluster = make_cluster(n_nodes=2)
+        snapshots = []
+
+        class App(DistObject):
+            @entry
+            def guarded(self, ctx):
+                def capture(hctx, block):
+                    snapshots.append(block.snapshot)
+                    yield hctx.compute(0)
+                    return (Decision.RESUME, None)
+
+                yield ctx.attach_handler("DIV_ZERO", capture)
+                yield ctx.compute(0)
+                return 1 / 0
+
+        cap = cluster.create_object(App, node=1)
+        thread = cluster.spawn(cap, "guarded", at=0)
+        cluster.run()
+        assert thread.completion.result() is None
+        (snapshot,) = snapshots
+        assert snapshot.program_counter is not None
+        oid, entry_name, steps = snapshot.program_counter
+        assert entry_name == "guarded"
+        assert snapshot.node == 1

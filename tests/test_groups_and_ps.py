@@ -1,0 +1,101 @@
+"""Tests for explicit group membership syscalls and cluster.ps()."""
+
+import pytest
+
+from repro import DistObject, entry
+from repro.errors import GroupError
+from tests.conftest import Sleeper, make_cluster
+
+
+class Grouper(DistObject):
+    @entry
+    def join_then_hold(self, ctx, gid):
+        joined = yield ctx.join_group(gid)
+        yield ctx.sleep(100.0)
+        return joined
+
+    @entry
+    def join_leave(self, ctx, gid):
+        yield ctx.join_group(gid)
+        old = yield ctx.leave_group()
+        return str(old), str(ctx.gid)
+
+    @entry
+    def join_missing(self, ctx, gid):
+        yield ctx.join_group(gid)
+
+
+class TestGroupSyscalls:
+    def test_join_makes_thread_reachable_by_group_raise(self):
+        cluster = make_cluster(n_nodes=3)
+        obj = cluster.create_object(Grouper, node=1)
+        gid = cluster.new_group()
+        thread = cluster.spawn(obj, "join_then_hold", gid, at=0)
+        cluster.run(until=0.5)
+        assert thread.tid in cluster.groups.members(gid)
+        cluster.raise_event("TERMINATE", gid, from_node=2)
+        cluster.run()
+        assert thread.state == "terminated"
+
+    def test_join_moves_between_groups(self):
+        cluster = make_cluster(n_nodes=2)
+        obj = cluster.create_object(Grouper, node=0)
+        g1, g2 = cluster.new_group(), cluster.new_group()
+        thread = cluster.spawn(obj, "join_then_hold", g2, at=0, group=g1)
+        cluster.run(until=0.5)
+        assert thread.tid in cluster.groups.members(g2)
+        assert not cluster.groups.exists(g1)  # emptied, collected
+
+    def test_leave_group(self):
+        cluster = make_cluster(n_nodes=2)
+        obj = cluster.create_object(Grouper, node=0)
+        gid = cluster.new_group()
+        thread = cluster.spawn(obj, "join_leave", gid, at=0)
+        cluster.run()
+        old, current = thread.completion.result()
+        assert old == str(gid)
+        assert current == "None"
+
+    def test_join_nonexistent_group_fails(self):
+        cluster = make_cluster(n_nodes=2)
+        obj = cluster.create_object(Grouper, node=0)
+        from repro.threads.ids import GroupId
+
+        thread = cluster.spawn(obj, "join_missing", GroupId(0, 999), at=0)
+        cluster.run()
+        with pytest.raises(GroupError):
+            thread.completion.result()
+
+
+class TestClusterPs:
+    def test_ps_lists_user_threads_with_stacks(self):
+        cluster = make_cluster(n_nodes=3)
+        sleeper = cluster.create_object(Sleeper, node=2)
+        gid = cluster.new_group()
+        thread = cluster.spawn(sleeper, "hold", 100.0, at=0, group=gid)
+        cluster.run(until=0.5)
+        rows = cluster.ps()
+        assert len(rows) == 1
+        (row,) = rows
+        assert row["tid"] == str(thread.tid)
+        assert row["state"] == "blocked"
+        assert row["node"] == 2
+        assert row["group"] == str(gid)
+        assert row["stack"] == ["Sleeper.hold@2"]
+
+    def test_ps_filters_by_kind(self):
+        cluster = make_cluster(n_nodes=2)
+        cluster.register_event("PING")
+        from tests.conftest import Recorder
+
+        recorder = cluster.create_object(Recorder, node=1)
+        cluster.raise_event("PING", recorder, from_node=0)
+        cluster.run()
+        # a kernel master handler thread exists, but user-only ps is empty
+        assert cluster.ps() == []
+        all_rows = cluster.ps(kinds=("user", "kernel", "surrogate"))
+        assert any(row["kind"] == "kernel" for row in all_rows)
+
+    def test_ps_empty_cluster(self):
+        cluster = make_cluster(n_nodes=1)
+        assert cluster.ps(kinds=()) == []

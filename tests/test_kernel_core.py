@@ -1,0 +1,275 @@
+"""Unit tests for kernel-layer services: config, TCBs, RPC, timers, names."""
+
+import pytest
+
+from repro.errors import (
+    EventNameInUseError,
+    KernelError,
+    NameServiceError,
+    RpcError,
+    RpcTimeout,
+    UnknownEventError,
+)
+from repro.kernel.config import ClusterConfig
+from repro.kernel.names import NameService
+from repro.kernel.rpc import RpcEngine, SizedReply
+from repro.kernel.tcb import ThreadTable
+from repro.kernel.timers import TimerService
+from repro.net import Fabric
+from repro.sim import Simulator, SimFuture
+
+
+class TestClusterConfig:
+    def test_defaults_valid(self):
+        config = ClusterConfig()
+        assert config.n_nodes == 4
+        assert config.locator == "path"
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(KernelError):
+            ClusterConfig(n_nodes=0)
+
+    def test_rejects_unknown_locator(self):
+        with pytest.raises(KernelError):
+            ClusterConfig(locator="teleport")
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(KernelError):
+            ClusterConfig(default_transport="carrier-pigeon")
+
+    def test_rejects_unknown_event_mode(self):
+        with pytest.raises(KernelError):
+            ClusterConfig(object_event_mode="psychic")
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(KernelError):
+            ClusterConfig(thread_create_cost=-1.0)
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(KernelError):
+            ClusterConfig(page_size=0)
+
+
+class TestThreadTable:
+    def test_arrival_makes_innermost(self):
+        table = ThreadTable(0)
+        table.thread_arrived("t")
+        assert table.innermost_here("t")
+        assert table.get("t").frames == 1
+
+    def test_departure_sets_forwarding_pointer(self):
+        table = ThreadTable(0)
+        table.thread_arrived("t")
+        table.thread_departed("t", to_node=3)
+        tcb = table.get("t")
+        assert not tcb.innermost
+        assert tcb.next_node == 3
+        assert tcb.departures == [3]
+
+    def test_return_clears_pointer(self):
+        table = ThreadTable(0)
+        table.thread_arrived("t")
+        table.thread_departed("t", to_node=3)
+        table.thread_returned_here("t")
+        tcb = table.get("t")
+        assert tcb.innermost
+        assert tcb.next_node is None
+
+    def test_frame_pop_removes_when_empty(self):
+        table = ThreadTable(0)
+        table.thread_arrived("t")
+        table.thread_arrived("t")
+        assert table.get("t").frames == 2
+        assert table.frame_popped("t") is not None
+        assert table.frame_popped("t") is None
+        assert "t" not in table
+
+    def test_purge(self):
+        table = ThreadTable(0)
+        table.thread_arrived("t")
+        assert table.purge("t") is True
+        assert table.purge("t") is False
+
+    def test_operations_on_missing_tid_raise(self):
+        table = ThreadTable(0)
+        with pytest.raises(KernelError):
+            table.thread_departed("nope", 1)
+        with pytest.raises(KernelError):
+            table.frame_popped("nope")
+
+    def test_tids_listing(self):
+        table = ThreadTable(0)
+        table.thread_arrived("a")
+        table.thread_arrived("b")
+        assert sorted(table.tids()) == ["a", "b"]
+
+
+def _rpc_pair():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    engines = {}
+    for node in (0, 1):
+        engine = RpcEngine(sim, fabric, node)
+        engines[node] = engine
+        fabric.attach(node, lambda m, e=engine: (
+            e.on_request(m) if m.mtype == "rpc.request" else e.on_reply(m)))
+    return sim, engines
+
+
+class TestRpc:
+    def test_request_reply_roundtrip(self):
+        sim, engines = _rpc_pair()
+        engines[1].serve("add", lambda payload, msg: payload["a"] + payload["b"])
+        fut = engines[0].request(1, "add", {"a": 2, "b": 3})
+        sim.run()
+        assert fut.result() == 5
+
+    def test_unknown_service_fails_future(self):
+        sim, engines = _rpc_pair()
+        fut = engines[0].request(1, "nope")
+        sim.run()
+        with pytest.raises(RpcError):
+            fut.result()
+
+    def test_service_exception_ships_to_caller(self):
+        sim, engines = _rpc_pair()
+
+        def boom(payload, msg):
+            raise ValueError("remote boom")
+
+        engines[1].serve("boom", boom)
+        fut = engines[0].request(1, "boom")
+        sim.run()
+        with pytest.raises(ValueError, match="remote boom"):
+            fut.result()
+
+    def test_async_service_via_future(self):
+        sim, engines = _rpc_pair()
+        pending = SimFuture(sim)
+        engines[1].serve("later", lambda payload, msg: pending)
+        fut = engines[0].request(1, "later")
+        sim.call_after(1.0, pending.resolve, "eventually")
+        sim.run()
+        assert fut.result() == "eventually"
+
+    def test_timeout(self):
+        sim, engines = _rpc_pair()
+        never = SimFuture(sim)
+        engines[1].serve("never", lambda payload, msg: never)
+        fut = engines[0].request(1, "never", timeout=0.5)
+        sim.run(until=2.0)
+        with pytest.raises(RpcTimeout):
+            fut.result()
+
+    def test_duplicate_service_rejected(self):
+        sim, engines = _rpc_pair()
+        engines[1].serve("s", lambda p, m: None)
+        with pytest.raises(RpcError):
+            engines[1].serve("s", lambda p, m: None)
+
+    def test_sized_reply_controls_wire_size(self):
+        sim, engines = _rpc_pair()
+        fabric_stats = engines[0].fabric.stats
+        engines[1].serve("page", lambda p, m: SizedReply("data", 4096))
+        fut = engines[0].request(1, "page")
+        sim.run()
+        assert fut.result() == "data"
+        assert fabric_stats.bytes_sent == 64 + 4096
+
+    def test_two_outstanding_requests_correlate(self):
+        sim, engines = _rpc_pair()
+        engines[1].serve("id", lambda payload, msg: payload)
+        f1 = engines[0].request(1, "id", "first")
+        f2 = engines[0].request(1, "id", "second")
+        sim.run()
+        assert (f1.result(), f2.result()) == ("first", "second")
+
+
+class TestTimers:
+    def test_one_shot_fires_once(self):
+        sim = Simulator()
+        timers = TimerService(sim, 0)
+        fired = []
+        timers.set(1.0, fired.append, "x")
+        sim.run(until=5.0)
+        assert fired == ["x"]
+
+    def test_recurring_fires_repeatedly(self):
+        sim = Simulator()
+        timers = TimerService(sim, 0)
+        fired = []
+        timer_id = timers.set(1.0, lambda: fired.append(sim.now),
+                              recurring=True)
+        sim.run(until=3.5)
+        timers.cancel(timer_id)
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_cancel_before_fire(self):
+        sim = Simulator()
+        timers = TimerService(sim, 0)
+        fired = []
+        timer_id = timers.set(1.0, fired.append, "x")
+        assert timers.cancel(timer_id) is True
+        assert timers.cancel(timer_id) is False
+        sim.run()
+        assert fired == []
+
+    def test_cancel_all(self):
+        sim = Simulator()
+        timers = TimerService(sim, 0)
+        for _ in range(3):
+            timers.set(1.0, lambda: None)
+        assert timers.cancel_all() == 3
+        assert timers.active() == []
+
+    def test_rejects_nonpositive_interval(self):
+        sim = Simulator()
+        timers = TimerService(sim, 0)
+        with pytest.raises(KernelError):
+            timers.set(0.0, lambda: None)
+
+
+class TestNameService:
+    def test_register_lookup(self):
+        names = NameService()
+        names.register("lockmgr", "cap")
+        assert names.lookup("lockmgr") == "cap"
+
+    def test_duplicate_register_rejected(self):
+        names = NameService()
+        names.register("x", 1)
+        with pytest.raises(NameServiceError):
+            names.register("x", 2)
+
+    def test_rebind_replaces(self):
+        names = NameService()
+        names.register("x", 1)
+        names.rebind("x", 2)
+        assert names.lookup("x") == 2
+
+    def test_lookup_missing_raises(self):
+        names = NameService()
+        with pytest.raises(NameServiceError):
+            names.lookup("ghost")
+        assert names.lookup_or_none("ghost") is None
+
+    def test_unregister(self):
+        names = NameService()
+        names.register("x", 1)
+        names.unregister("x")
+        with pytest.raises(NameServiceError):
+            names.unregister("x")
+
+    def test_event_registration(self):
+        names = NameService()
+        names.register_event("COMMIT", registrar="app")
+        assert names.event_exists("COMMIT")
+        assert not names.is_system_event("COMMIT")
+        with pytest.raises(EventNameInUseError):
+            names.register_event("COMMIT")
+
+    def test_unknown_event_raises(self):
+        names = NameService()
+        with pytest.raises(UnknownEventError):
+            names.require_event("GHOST")

@@ -1,0 +1,226 @@
+"""Tests for the distributed lock manager and §4.2 cleanup chaining."""
+
+import pytest
+
+from repro import DistObject, entry
+from repro.errors import LockNotHeldError
+from repro.locks import LockManager
+from tests.conftest import make_cluster
+
+
+class LockUser(DistObject):
+    @entry
+    def acquire_and_hold(self, ctx, mgr, names, hold=1000.0):
+        for name in names:
+            yield ctx.invoke(mgr, "acquire", name)
+        yield ctx.sleep(hold)
+        for name in reversed(names):
+            yield ctx.invoke(mgr, "release", name)
+        return "released"
+
+    @entry
+    def acquire_release(self, ctx, mgr, name):
+        yield ctx.invoke(mgr, "acquire", name)
+        yield ctx.compute(1e-4)
+        yield ctx.invoke(mgr, "release", name)
+        return "cycled"
+
+    @entry
+    def try_it(self, ctx, mgr, name):
+        result = yield ctx.invoke(mgr, "try_acquire", name)
+        return result
+
+    @entry
+    def release_unheld(self, ctx, mgr, name):
+        yield ctx.invoke(mgr, "release", name)
+
+    @entry
+    def reentrant(self, ctx, mgr, name):
+        yield ctx.invoke(mgr, "acquire", name)
+        yield ctx.invoke(mgr, "acquire", name)
+        yield ctx.invoke(mgr, "release", name)
+        holder_mid = yield ctx.invoke(mgr, "holder_of", name)
+        yield ctx.invoke(mgr, "release", name)
+        holder_end = yield ctx.invoke(mgr, "holder_of", name)
+        return holder_mid, holder_end
+
+    @entry
+    def count_critical(self, ctx, mgr, name, counter_obj, rounds):
+        for _ in range(rounds):
+            yield ctx.invoke(mgr, "acquire", name)
+            value = yield ctx.invoke(counter_obj, "get")
+            yield ctx.compute(1e-4)
+            yield ctx.invoke(counter_obj, "set", value + 1)
+            yield ctx.invoke(mgr, "release", name)
+        return "done"
+
+
+class Cell(DistObject):
+    def __init__(self):
+        super().__init__()
+        self.value = 0
+
+    @entry
+    def get(self, ctx):
+        yield ctx.compute(0)
+        return self.value
+
+    @entry
+    def set(self, ctx, value):
+        yield ctx.compute(0)
+        self.value = value
+
+
+@pytest.fixture()
+def rig():
+    cluster = make_cluster(n_nodes=4)
+    mgr = cluster.create_object(LockManager, node=3)
+    user = cluster.create_object(LockUser, node=1)
+    return cluster, mgr, user
+
+
+class TestBasicLocking:
+    def test_acquire_release_cycle(self, rig):
+        cluster, mgr, user = rig
+        thread = cluster.spawn(user, "acquire_release", mgr, "L", at=0)
+        cluster.run()
+        assert thread.completion.result() == "cycled"
+        assert cluster.get_object(mgr).acquires == 1
+        assert cluster.get_object(mgr).releases == 1
+
+    def test_contention_serialises(self, rig):
+        cluster, mgr, user = rig
+        cell = cluster.create_object(Cell, node=2)
+        threads = [cluster.spawn(user, "count_critical", mgr, "L", cell,
+                                 5, at=i) for i in range(4)]
+        cluster.run()
+        assert all(t.completion.result() == "done" for t in threads)
+        # with the lock, no increments are lost
+        assert cluster.get_object(cell).value == 20
+
+    def test_fifo_grant_order(self, rig):
+        cluster, mgr, user = rig
+        holder = cluster.spawn(user, "acquire_and_hold", mgr, ["L"],
+                               0.5, at=0)
+        cluster.run(until=0.1)
+        w1 = cluster.spawn(user, "acquire_release", mgr, "L", at=1)
+        cluster.run(until=0.2)
+        w2 = cluster.spawn(user, "acquire_release", mgr, "L", at=2)
+        cluster.run()
+        # both eventually succeed
+        assert w1.completion.result() == "cycled"
+        assert w2.completion.result() == "cycled"
+
+    def test_try_acquire(self, rig):
+        cluster, mgr, user = rig
+        holder = cluster.spawn(user, "acquire_and_hold", mgr, ["L"],
+                               10.0, at=0)
+        cluster.run(until=0.1)
+        prober = cluster.spawn(user, "try_it", mgr, "L", at=1)
+        cluster.run(until=0.2)
+        assert prober.completion.result() is False
+        prober2 = cluster.spawn(user, "try_it", mgr, "FREE", at=1)
+        cluster.run(until=0.3)
+        assert prober2.completion.result() is True
+
+    def test_release_unheld_rejected(self, rig):
+        cluster, mgr, user = rig
+        thread = cluster.spawn(user, "release_unheld", mgr, "L", at=0)
+        cluster.run()
+        with pytest.raises(LockNotHeldError):
+            thread.completion.result()
+
+    def test_reentrancy(self, rig):
+        cluster, mgr, user = rig
+        thread = cluster.spawn(user, "reentrant", mgr, "L", at=0)
+        cluster.run()
+        holder_mid, holder_end = thread.completion.result()
+        assert holder_mid == thread.tid
+        assert holder_end is None
+
+
+class TestCleanupChaining:
+    def test_terminate_releases_all_locks(self, rig):
+        cluster, mgr, user = rig
+        thread = cluster.spawn(user, "acquire_and_hold", mgr,
+                               ["a", "b", "c"], at=0)
+        cluster.run(until=0.5)
+        manager = cluster.get_object(mgr)
+        held = [n for n, l in manager._locks.items()
+                if l.holder is not None]
+        assert sorted(held) == ["a", "b", "c"]
+        cluster.raise_event("TERMINATE", thread.tid, from_node=2)
+        cluster.run()
+        assert thread.state == "terminated"
+        assert all(l.holder is None for l in manager._locks.values())
+        assert manager.cleanup_releases == 3
+
+    def test_cleanup_wakes_blocked_waiter(self, rig):
+        cluster, mgr, user = rig
+        holder = cluster.spawn(user, "acquire_and_hold", mgr, ["L"], at=0)
+        cluster.run(until=0.2)
+        waiter = cluster.spawn(user, "acquire_release", mgr, "L", at=2)
+        cluster.run(until=0.4)
+        assert waiter.state == "blocked"
+        cluster.raise_event("TERMINATE", holder.tid, from_node=1)
+        cluster.run()
+        assert waiter.completion.result() == "cycled"
+
+    def test_explicit_release_then_terminate_is_benign(self, rig):
+        cluster, mgr, user = rig
+        thread = cluster.spawn(user, "acquire_and_hold", mgr, ["L"],
+                               0.2, at=0)
+        cluster.run(until=0.5)  # released explicitly already
+        assert thread.completion.result() == "released"
+        # now a new holder takes the lock; the old thread is gone and its
+        # cleanup never fires on the new holder's lock
+        fresh = cluster.spawn(user, "acquire_and_hold", mgr, ["L"],
+                              10.0, at=1)
+        cluster.run(until=1.0)
+        manager = cluster.get_object(mgr)
+        assert manager._locks["L"].holder == fresh.tid
+
+    def test_quit_event_also_releases(self, rig):
+        cluster, mgr, user = rig
+        thread = cluster.spawn(user, "acquire_and_hold", mgr, ["L"], at=0)
+        cluster.run(until=0.5)
+        cluster.raise_event("QUIT", thread.tid, from_node=2)
+        cluster.run()
+        assert thread.state == "terminated"
+        manager = cluster.get_object(mgr)
+        assert manager._locks["L"].holder is None
+
+    def test_dead_waiter_skipped_on_grant(self, rig):
+        cluster, mgr, user = rig
+        holder = cluster.spawn(user, "acquire_and_hold", mgr, ["L"],
+                               1.0, at=0)
+        cluster.run(until=0.2)
+        doomed = cluster.spawn(user, "acquire_release", mgr, "L", at=1)
+        cluster.run(until=0.4)
+        survivor = cluster.spawn(user, "acquire_release", mgr, "L", at=2)
+        cluster.run(until=0.6)
+        cluster.invoker.terminate_thread(doomed)
+        cluster.run()
+        assert survivor.completion.result() == "cycled"
+
+    def test_reap_releases_locks_of_crashed_threads(self, rig):
+        cluster, mgr, user = rig
+
+        class Crasher(DistObject):
+            @entry
+            def crash_holding(self, ctx, mgr_cap, name):
+                yield ctx.invoke(mgr_cap, "acquire", name,
+                                 False)  # no cleanup chain
+                raise RuntimeError("died holding the lock")
+
+        crasher = cluster.create_object(Crasher, node=2)
+        thread = cluster.spawn(crasher, "crash_holding", mgr, "L", at=0)
+        cluster.run()
+        assert thread.state == "failed"
+        manager = cluster.get_object(mgr)
+        assert manager._locks["L"].holder is not None  # leaked
+        reaper = cluster.spawn(user, "try_it", mgr, "ignored", at=1)
+        driver = cluster.spawn(mgr, "reap", at=1)
+        cluster.run()
+        assert driver.completion.result() == ["L"]
+        assert manager._locks["L"].holder is None

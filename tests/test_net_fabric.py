@@ -1,0 +1,266 @@
+"""Unit tests for the message fabric, latency models and fault plans."""
+
+import pytest
+
+from repro.errors import NetworkError, UnknownNodeError
+from repro.net import (
+    BandwidthLatency,
+    Fabric,
+    FaultPlan,
+    FixedLatency,
+    LognormalLatency,
+    Message,
+    MulticastRegistry,
+    UniformLatency,
+    multicast_address,
+)
+from repro.sim import RngRegistry, Simulator, Tracer
+
+
+def make_cluster(n=3, **fabric_kwargs):
+    sim = Simulator()
+    fabric = Fabric(sim, **fabric_kwargs)
+    inboxes = {i: [] for i in range(n)}
+    for i in range(n):
+        fabric.attach(i, (lambda i: lambda m: inboxes[i].append(m))(i))
+    return sim, fabric, inboxes
+
+
+class TestPointToPoint:
+    def test_message_arrives_after_latency(self):
+        sim, fabric, inboxes = make_cluster(latency=FixedLatency(0.5))
+        fabric.send(Message(src=0, dst=1, mtype="ping"))
+        assert inboxes[1] == []  # not synchronous
+        sim.run()
+        assert len(inboxes[1]) == 1
+        assert sim.now == 0.5
+
+    def test_local_messages_are_faster(self):
+        sim, fabric, inboxes = make_cluster(latency=FixedLatency(1.0))
+        fabric.send(Message(src=0, dst=0, mtype="self"))
+        sim.run()
+        assert sim.now == pytest.approx(0.01)
+
+    def test_unknown_destination_raises(self):
+        sim, fabric, _ = make_cluster()
+        with pytest.raises(UnknownNodeError):
+            fabric.send(Message(src=0, dst=99, mtype="x"))
+
+    def test_double_attach_rejected(self):
+        sim, fabric, _ = make_cluster()
+        with pytest.raises(NetworkError):
+            fabric.attach(0, lambda m: None)
+
+    def test_detach_drops_in_flight(self):
+        sim, fabric, inboxes = make_cluster()
+        fabric.send(Message(src=0, dst=1, mtype="x"))
+        fabric.detach(1)
+        sim.run()
+        assert inboxes[1] == []
+        assert fabric.stats.dropped == 1
+
+    def test_payload_passes_through_unmodified(self):
+        sim, fabric, inboxes = make_cluster()
+        payload = {"k": [1, 2, 3]}
+        fabric.send(Message(src=0, dst=2, mtype="data", payload=payload))
+        sim.run()
+        assert inboxes[2][0].payload is payload
+
+    def test_fifo_between_same_pair_with_fixed_latency(self):
+        sim, fabric, inboxes = make_cluster(latency=FixedLatency(0.1))
+        for i in range(5):
+            fabric.send(Message(src=0, dst=1, mtype="seq", payload=i))
+        sim.run()
+        assert [m.payload for m in inboxes[1]] == list(range(5))
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_all_but_sender(self):
+        sim, fabric, inboxes = make_cluster(n=4)
+        count = fabric.broadcast(src=1, mtype="hello")
+        sim.run()
+        assert count == 3
+        assert len(inboxes[0]) == 1
+        assert len(inboxes[1]) == 0
+        assert len(inboxes[2]) == 1
+        assert len(inboxes[3]) == 1
+
+    def test_broadcast_counts_per_copy(self):
+        sim, fabric, _ = make_cluster(n=5)
+        fabric.broadcast(src=0, mtype="b")
+        sim.run()
+        assert fabric.stats.count("b") == 4
+
+
+class TestMulticast:
+    def test_multicast_reaches_members_only(self):
+        sim, fabric, inboxes = make_cluster(n=4)
+        fabric.multicast_groups.join("g", 1)
+        fabric.multicast_groups.join("g", 3)
+        sent = fabric.multicast(src=0, group="g", mtype="m")
+        sim.run()
+        assert sent == 2
+        assert len(inboxes[1]) == 1
+        assert len(inboxes[3]) == 1
+        assert len(inboxes[2]) == 0
+
+    def test_multicast_to_empty_group_sends_nothing(self):
+        sim, fabric, inboxes = make_cluster()
+        assert fabric.multicast(src=0, group="none", mtype="m") == 0
+        sim.run()
+        assert all(not msgs for msgs in inboxes.values())
+
+    def test_send_to_multicast_address(self):
+        sim, fabric, inboxes = make_cluster()
+        fabric.multicast_groups.join("g", 2)
+        fabric.send(Message(src=0, dst=multicast_address("g"), mtype="m"))
+        sim.run()
+        assert len(inboxes[2]) == 1
+
+
+class TestMulticastRegistry:
+    def test_join_leave(self):
+        reg = MulticastRegistry()
+        assert reg.join("g", 1) is True
+        assert reg.join("g", 1) is False
+        assert reg.members("g") == frozenset({1})
+        assert reg.leave("g", 1) is True
+        assert reg.leave("g", 1) is False
+        assert reg.members("g") == frozenset()
+
+    def test_groups_of(self):
+        reg = MulticastRegistry()
+        reg.join("a", 1)
+        reg.join("b", 1)
+        reg.join("a", 2)
+        assert reg.groups_of(1) == frozenset({"a", "b"})
+
+    def test_dissolve(self):
+        reg = MulticastRegistry()
+        reg.join("g", 1)
+        reg.dissolve("g")
+        assert reg.members("g") == frozenset()
+
+    def test_require_members_raises_when_empty(self):
+        reg = MulticastRegistry()
+        with pytest.raises(NetworkError):
+            reg.require_members("g")
+
+
+class TestFaults:
+    def test_drop_rate_one_drops_everything(self):
+        sim, fabric, inboxes = make_cluster(
+            faults=FaultPlan(RngRegistry(1), drop_rate=1.0))
+        fabric.send(Message(src=0, dst=1, mtype="x"))
+        sim.run()
+        assert inboxes[1] == []
+        assert fabric.stats.dropped == 1
+
+    def test_local_messages_never_dropped(self):
+        sim, fabric, inboxes = make_cluster(
+            faults=FaultPlan(RngRegistry(1), drop_rate=1.0))
+        fabric.send(Message(src=0, dst=0, mtype="x"))
+        sim.run()
+        assert len(inboxes[0]) == 1
+
+    def test_duplicate_rate_one_duplicates(self):
+        sim, fabric, inboxes = make_cluster(
+            faults=FaultPlan(RngRegistry(1), duplicate_rate=1.0))
+        fabric.send(Message(src=0, dst=1, mtype="x"))
+        sim.run()
+        assert len(inboxes[1]) == 2
+
+    def test_partition_cuts_both_directions(self):
+        plan = FaultPlan()
+        plan.partition({0, 1}, {2})
+        sim, fabric, inboxes = make_cluster(faults=plan)
+        fabric.send(Message(src=0, dst=2, mtype="x"))
+        fabric.send(Message(src=2, dst=1, mtype="x"))
+        fabric.send(Message(src=0, dst=1, mtype="x"))
+        sim.run()
+        assert inboxes[2] == []
+        assert len(inboxes[1]) == 1  # only the intra-side message
+
+    def test_heal_restores_connectivity(self):
+        plan = FaultPlan()
+        plan.partition({0}, {1})
+        plan.heal()
+        sim, fabric, inboxes = make_cluster(faults=plan)
+        fabric.send(Message(src=0, dst=1, mtype="x"))
+        sim.run()
+        assert len(inboxes[1]) == 1
+
+
+class TestLatencyModels:
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(NetworkError):
+            FixedLatency(-1.0)
+
+    def test_uniform_within_bounds(self):
+        model = UniformLatency(RngRegistry(5), low=0.1, high=0.2)
+        msg = Message(src=0, dst=1, mtype="x")
+        for _ in range(100):
+            assert 0.1 <= model.delay(0, 1, msg) <= 0.2
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(NetworkError):
+            UniformLatency(RngRegistry(5), low=0.5, high=0.1)
+
+    def test_lognormal_positive(self):
+        model = LognormalLatency(RngRegistry(5), median=1e-3)
+        msg = Message(src=0, dst=1, mtype="x")
+        assert all(model.delay(0, 1, msg) > 0 for _ in range(50))
+
+    def test_bandwidth_charges_for_size(self):
+        model = BandwidthLatency(propagation=0.0, bandwidth=1000.0)
+        small = Message(src=0, dst=1, mtype="x", size=100)
+        big = Message(src=0, dst=1, mtype="x", size=1000)
+        assert model.delay(0, 1, big) == pytest.approx(
+            10 * model.delay(0, 1, small))
+
+    def test_models_reproducible_across_runs(self):
+        def draws(model_cls):
+            model = model_cls(RngRegistry(42), 0.1, 0.9)
+            msg = Message(src=0, dst=1, mtype="x")
+            return [model.delay(0, 1, msg) for _ in range(5)]
+
+        assert draws(UniformLatency) == draws(UniformLatency)
+
+
+class TestStatsAndTrace:
+    def test_stats_snapshot_delta(self):
+        sim, fabric, _ = make_cluster()
+        fabric.send(Message(src=0, dst=1, mtype="a"))
+        before = fabric.stats.snapshot()
+        fabric.send(Message(src=0, dst=1, mtype="a"))
+        fabric.send(Message(src=0, dst=2, mtype="b"))
+        delta = fabric.stats.delta_since(before)
+        assert delta["sent"] == 2
+        assert delta["type:a"] == 1
+        assert delta["type:b"] == 1
+
+    def test_count_prefix(self):
+        sim, fabric, _ = make_cluster()
+        fabric.send(Message(src=0, dst=1, mtype="rpc.request"))
+        fabric.send(Message(src=0, dst=1, mtype="rpc.reply"))
+        fabric.send(Message(src=0, dst=1, mtype="event.post"))
+        assert fabric.stats.count_prefix("rpc.") == 2
+
+    def test_tracer_sees_send_and_deliver(self):
+        sim = Simulator()
+        tracer = Tracer(sim)
+        fabric = Fabric(sim, tracer=tracer)
+        got = []
+        fabric.attach(0, got.append)
+        fabric.attach(1, got.append)
+        fabric.send(Message(src=0, dst=1, mtype="x"))
+        sim.run()
+        assert tracer.count("net", "send") == 1
+        assert tracer.count("net", "deliver") == 1
+
+    def test_reply_envelope_swaps_endpoints(self):
+        msg = Message(src=3, dst=7, mtype="rpc.request")
+        reply = msg.reply_envelope("rpc.reply", payload="ok")
+        assert reply.src == 7
+        assert reply.dst == 3
+        assert reply.payload == "ok"

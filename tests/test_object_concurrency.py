@@ -1,0 +1,138 @@
+"""Concurrent execution by multiple threads inside one passive object.
+
+"Objects may allow concurrent execution by multiple threads. The threads
+active inside an object may all belong to the same application or to
+different applications." (§2) — these tests exercise exactly that
+sharing, including the §3.1 sharability requirement that events posted to
+one thread leave unrelated threads in the same object untouched.
+"""
+
+import pytest
+
+from repro import Decision, DistObject, entry
+from tests.conftest import make_cluster
+
+
+class SharedService(DistObject):
+    """A passive object entered concurrently by many threads."""
+
+    def __init__(self):
+        super().__init__()
+        self.inside = 0
+        self.high_water = 0
+        self.completed = []
+
+    @entry
+    def serve(self, ctx, label, duration):
+        self.inside += 1
+        self.high_water = max(self.high_water, self.inside)
+        yield ctx.sleep(duration)
+        self.inside -= 1
+        self.completed.append(label)
+        return label
+
+
+class TestConcurrentEntry:
+    def test_threads_overlap_inside_one_object(self):
+        cluster = make_cluster(n_nodes=4)
+        service = cluster.create_object(SharedService, node=1)
+        threads = [cluster.spawn(service, "serve", f"t{i}", 0.5, at=i)
+                   for i in range(4)]
+        cluster.run()
+        obj = cluster.get_object(service)
+        assert obj.high_water == 4          # genuinely concurrent
+        assert obj.inside == 0
+        assert sorted(obj.completed) == ["t0", "t1", "t2", "t3"]
+        assert all(t.completion.result().startswith("t") for t in threads)
+
+    def test_event_to_one_thread_leaves_others_untouched(self):
+        """§3.1 sharability: 'Events posted to a thread should not affect
+        the behavior of the unrelated threads inside the object'."""
+        cluster = make_cluster(n_nodes=3)
+        service = cluster.create_object(SharedService, node=1)
+        app1 = cluster.spawn(service, "serve", "app1", 5.0, at=0)
+        app2 = cluster.spawn(service, "serve", "app2", 5.0, at=2)
+        cluster.run(until=1.0)
+        cluster.raise_event("TERMINATE", app1.tid, from_node=0)
+        cluster.run()
+        assert app1.state == "terminated"
+        assert app2.completion.result() == "app2"
+        obj = cluster.get_object(service)
+        assert obj.completed == ["app2"]
+
+    def test_termination_mid_entry_keeps_object_usable(self):
+        cluster = make_cluster(n_nodes=2)
+        service = cluster.create_object(SharedService, node=1)
+        doomed = cluster.spawn(service, "serve", "doomed", 100.0, at=0)
+        cluster.run(until=0.5)
+        cluster.invoker.terminate_thread(doomed)
+        cluster.run()
+        # note: the unwind never decremented `inside` (no finally in the
+        # entry) — the object is still invocable though
+        fresh = cluster.spawn(service, "serve", "fresh", 0.1, at=0)
+        cluster.run()
+        assert fresh.completion.result() == "fresh"
+
+    def test_same_thread_reenters_object_recursively(self):
+        cluster = make_cluster(n_nodes=2)
+
+        class Recursive(DistObject):
+            @entry
+            def fact(self, ctx, n):
+                if n <= 1:
+                    yield ctx.compute(0)
+                    return 1
+                rest = yield ctx.invoke(self.cap, "fact", n - 1)
+                return n * rest
+
+        obj = cluster.create_object(Recursive, node=1)
+        thread = cluster.spawn(obj, "fact", 6, at=0)
+        cluster.run()
+        assert thread.completion.result() == 720
+
+    def test_per_thread_state_isolated_via_attributes(self):
+        """Two applications' threads in one object keep per-thread state
+        in their attributes, not in the shared object."""
+        cluster = make_cluster(n_nodes=3)
+        cluster.register_event("NUDGE")
+
+        class Stateful(DistObject):
+            @entry
+            def work(self, ctx, label):
+                memory = ctx.attributes.per_thread_memory
+                memory["count"] = 0
+
+                def on_nudge(hctx, block):
+                    hctx.attributes.per_thread_memory["count"] += 1
+                    yield hctx.compute(0)
+                    return Decision.RESUME
+
+                yield ctx.attach_handler("NUDGE", on_nudge)
+                yield ctx.sleep(2.0)
+                return (label, memory["count"])
+
+        obj = cluster.create_object(Stateful, node=1)
+        t1 = cluster.spawn(obj, "work", "one", at=0)
+        t2 = cluster.spawn(obj, "work", "two", at=2)
+        cluster.run(until=0.5)
+        for _ in range(3):
+            cluster.raise_event("NUDGE", t1.tid, from_node=0)
+            cluster.run(until=cluster.now + 0.1)
+        cluster.raise_event("NUDGE", t2.tid, from_node=0)
+        cluster.run()
+        assert t1.completion.result() == ("one", 3)
+        assert t2.completion.result() == ("two", 1)
+
+    def test_mixed_waiters_and_events_in_object(self):
+        """Threads blocked inside an object receive group events there."""
+        cluster = make_cluster(n_nodes=4)
+        service = cluster.create_object(SharedService, node=1)
+        gid = cluster.new_group()
+        members = [cluster.spawn(service, "serve", f"m{i}", 100.0, at=i,
+                                 group=gid) for i in range(3)]
+        outsider = cluster.spawn(service, "serve", "out", 100.0, at=3)
+        cluster.run(until=0.5)
+        cluster.raise_event("TERMINATE", gid, from_node=0)
+        cluster.run(until=10.0)
+        assert all(m.state == "terminated" for m in members)
+        assert outsider.alive  # not in the group, untouched

@@ -1,0 +1,92 @@
+"""Property-based tests for handler chains and event blocks."""
+
+from hypothesis import given, strategies as st
+
+from repro.events.block import EventBlock
+from repro.events.handlers import (
+    HandlerChain,
+    HandlerContext,
+    HandlerRegistration,
+)
+
+
+def _registration(tag: int) -> HandlerRegistration:
+    return HandlerRegistration(event="E", context=HandlerContext.CURRENT,
+                               procedure=f"proc-{tag}")
+
+
+#: operations against a chain: ("push", tag) or ("pop",) or ("remove", i)
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 99)),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("remove"), st.integers(0, 99)),
+    ),
+    max_size=60,
+)
+
+
+class TestChainModel:
+    @given(ops)
+    def test_chain_matches_list_model(self, operations):
+        """The chain behaves exactly like a Python list used as a stack."""
+        chain = HandlerChain("E")
+        model: list[HandlerRegistration] = []
+        for op in operations:
+            if op[0] == "push":
+                registration = _registration(op[1])
+                chain.push(registration)
+                model.append(registration)
+            elif op[0] == "pop":
+                if model:
+                    assert chain.pop() is model.pop()
+            else:
+                if model:
+                    victim = model[op[1] % len(model)]
+                    assert chain.remove(victim.reg_id) is True
+                    model.remove(victim)
+        assert chain.in_order() == list(reversed(model))
+        assert len(chain) == len(model)
+        assert (chain.top() is model[-1]) if model else chain.top() is None
+
+    @given(st.lists(st.integers(0, 99), max_size=30))
+    def test_copy_is_snapshot(self, tags):
+        chain = HandlerChain("E")
+        for tag in tags:
+            chain.push(_registration(tag))
+        clone = chain.copy()
+        clone.push(_registration(1000))
+        if len(chain):
+            chain.pop()
+        # the clone kept the original content plus its own push
+        assert len(clone) == len(tags) + 1
+
+    @given(st.lists(st.integers(0, 99), min_size=1, max_size=30))
+    def test_delivery_order_is_reverse_attachment(self, tags):
+        chain = HandlerChain("E")
+        pushed = [_registration(tag) for tag in tags]
+        for registration in pushed:
+            chain.push(registration)
+        assert chain.in_order() == list(reversed(pushed))
+
+
+class TestEventBlockProperties:
+    @given(st.text(min_size=1, max_size=20),
+           st.text(min_size=1, max_size=20),
+           st.integers() | st.none() | st.text(max_size=10))
+    def test_with_event_transforms_name_keeps_provenance(
+            self, original, transformed, payload):
+        block = EventBlock(event=original, raiser_node=3,
+                           user_data=payload, raised_at=1.5)
+        derived = block.with_event(transformed)
+        assert derived.event == transformed
+        assert derived.raiser_node == 3
+        assert derived.user_data == payload
+        assert derived.raised_at == 1.5
+        assert derived.block_id != block.block_id
+        assert not derived.synchronous
+
+    @given(st.integers(min_value=1, max_value=50))
+    def test_block_ids_unique(self, count):
+        ids = {EventBlock(event="X").block_id for _ in range(count)}
+        assert len(ids) == count

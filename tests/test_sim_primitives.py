@@ -1,0 +1,182 @@
+"""Unit tests for sim futures, conditions, semaphores and channels."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Channel, Condition, Semaphore, SimFuture, Simulator
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+class TestSimFuture:
+    def test_resolve_and_result(self, sim):
+        fut = SimFuture(sim)
+        assert not fut.done
+        fut.resolve(42)
+        assert fut.done
+        assert fut.result() == 42
+
+    def test_result_before_done_raises(self, sim):
+        fut = SimFuture(sim)
+        with pytest.raises(SimulationError):
+            fut.result()
+
+    def test_fail_reraises(self, sim):
+        fut = SimFuture(sim)
+        fut.fail(ValueError("boom"))
+        assert fut.failed
+        with pytest.raises(ValueError, match="boom"):
+            fut.result()
+
+    def test_fail_requires_exception(self, sim):
+        fut = SimFuture(sim)
+        with pytest.raises(SimulationError):
+            fut.fail("not an exception")
+
+    def test_double_resolve_rejected(self, sim):
+        fut = SimFuture(sim)
+        fut.resolve(1)
+        with pytest.raises(SimulationError):
+            fut.resolve(2)
+
+    def test_cancel(self, sim):
+        fut = SimFuture(sim)
+        assert fut.cancel() is True
+        assert fut.cancelled
+        assert fut.cancel() is False
+        with pytest.raises(SimulationError):
+            fut.result()
+
+    def test_callbacks_run_via_scheduler(self, sim):
+        fut = SimFuture(sim)
+        seen = []
+        fut.add_done_callback(lambda f: seen.append(f.result()))
+        fut.resolve("v")
+        assert seen == []  # not synchronous
+        sim.run()
+        assert seen == ["v"]
+
+    def test_callback_added_after_done_still_fires(self, sim):
+        fut = SimFuture(sim)
+        fut.resolve(7)
+        seen = []
+        fut.add_done_callback(lambda f: seen.append(f.result()))
+        sim.run()
+        assert seen == [7]
+
+    def test_multiple_callbacks_fifo(self, sim):
+        fut = SimFuture(sim)
+        seen = []
+        fut.add_done_callback(lambda f: seen.append("a"))
+        fut.add_done_callback(lambda f: seen.append("b"))
+        fut.resolve(None)
+        sim.run()
+        assert seen == ["a", "b"]
+
+
+class TestCondition:
+    def test_signal_wakes_oldest(self, sim):
+        cond = Condition(sim)
+        w1, w2 = cond.wait(), cond.wait()
+        assert cond.waiting == 2
+        assert cond.signal("x") is True
+        assert w1.done and not w2.done
+        assert w1.result() == "x"
+
+    def test_signal_with_no_waiters(self, sim):
+        cond = Condition(sim)
+        assert cond.signal() is False
+
+    def test_broadcast_wakes_all(self, sim):
+        cond = Condition(sim)
+        waiters = [cond.wait() for _ in range(3)]
+        assert cond.broadcast("go") == 3
+        assert all(w.result() == "go" for w in waiters)
+
+    def test_signal_skips_cancelled_waiters(self, sim):
+        cond = Condition(sim)
+        w1, w2 = cond.wait(), cond.wait()
+        w1.cancel()
+        assert cond.signal("y") is True
+        assert w2.result() == "y"
+
+
+class TestSemaphore:
+    def test_initial_acquires_succeed(self, sim):
+        sem = Semaphore(sim, value=2)
+        assert sem.acquire().done
+        assert sem.acquire().done
+        assert not sem.acquire().done
+
+    def test_release_wakes_waiter(self, sim):
+        sem = Semaphore(sim, value=1)
+        sem.acquire()
+        waiter = sem.acquire()
+        assert not waiter.done
+        sem.release()
+        assert waiter.done
+
+    def test_release_without_waiters_increments(self, sim):
+        sem = Semaphore(sim, value=0)
+        sem.release()
+        assert sem.value == 1
+        assert sem.try_acquire() is True
+        assert sem.try_acquire() is False
+
+    def test_negative_initial_value_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Semaphore(sim, value=-1)
+
+    def test_release_skips_cancelled_waiter(self, sim):
+        sem = Semaphore(sim, value=0)
+        w1 = sem.acquire()
+        w2 = sem.acquire()
+        w1.cancel()
+        sem.release()
+        assert w2.done
+
+
+class TestChannel:
+    def test_put_then_get(self, sim):
+        chan = Channel(sim)
+        chan.put("a")
+        assert chan.get().result() == "a"
+
+    def test_get_then_put(self, sim):
+        chan = Channel(sim)
+        getter = chan.get()
+        assert not getter.done
+        chan.put("b")
+        assert getter.result() == "b"
+
+    def test_fifo_ordering(self, sim):
+        chan = Channel(sim)
+        for i in range(5):
+            chan.put(i)
+        assert [chan.get().result() for _ in range(5)] == list(range(5))
+
+    def test_getters_served_in_order(self, sim):
+        chan = Channel(sim)
+        g1, g2 = chan.get(), chan.get()
+        chan.put("first")
+        chan.put("second")
+        assert g1.result() == "first"
+        assert g2.result() == "second"
+
+    def test_len_and_drain(self, sim):
+        chan = Channel(sim)
+        chan.put(1)
+        chan.put(2)
+        assert len(chan) == 2
+        assert chan.drain() == [1, 2]
+        assert len(chan) == 0
+
+    def test_put_skips_cancelled_getter(self, sim):
+        chan = Channel(sim)
+        g1, g2 = chan.get(), chan.get()
+        g1.cancel()
+        chan.put("x")
+        assert g2.result() == "x"

@@ -1,0 +1,258 @@
+"""Unit tests for generator-based simulated processes."""
+
+import pytest
+
+from repro.errors import Interrupted, ProcessError
+from repro.sim import (
+    Checkpoint,
+    Process,
+    Simulator,
+    SimFuture,
+    Sleep,
+    Wait,
+    WaitAll,
+    spawn,
+)
+
+
+@pytest.fixture()
+def sim():
+    return Simulator()
+
+
+def test_process_runs_to_completion(sim):
+    log = []
+
+    def body():
+        log.append(("start", sim.now))
+        yield Sleep(1.0)
+        log.append(("mid", sim.now))
+        yield Sleep(2.0)
+        log.append(("end", sim.now))
+        return "done"
+
+    proc = Process(sim, body())
+    sim.run()
+    assert log == [("start", 0.0), ("mid", 1.0), ("end", 3.0)]
+    assert proc.completion.result() == "done"
+    assert not proc.alive
+
+
+def test_body_must_be_generator(sim):
+    with pytest.raises(ProcessError):
+        Process(sim, lambda: None)  # type: ignore[arg-type]
+
+
+def test_wait_on_future_yields_value(sim):
+    fut = SimFuture(sim)
+    results = []
+
+    def body():
+        value = yield Wait(fut)
+        results.append((value, sim.now))
+
+    Process(sim, body())
+    sim.call_after(2.5, fut.resolve, "payload")
+    sim.run()
+    assert results == [("payload", 2.5)]
+
+
+def test_wait_on_failed_future_raises_inside(sim):
+    fut = SimFuture(sim)
+
+    def body():
+        try:
+            yield Wait(fut)
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    proc = Process(sim, body())
+    sim.call_after(1.0, fut.fail, ValueError("nope"))
+    sim.run()
+    assert proc.completion.result() == "caught nope"
+
+
+def test_wait_all_collects_in_order(sim):
+    futs = [SimFuture(sim) for _ in range(3)]
+
+    def body():
+        values = yield WaitAll(futs)
+        return values
+
+    proc = Process(sim, body())
+    # resolve out of order
+    sim.call_after(3.0, futs[0].resolve, "a")
+    sim.call_after(1.0, futs[1].resolve, "b")
+    sim.call_after(2.0, futs[2].resolve, "c")
+    sim.run()
+    assert proc.completion.result() == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_wait_all_empty_list(sim):
+    def body():
+        values = yield WaitAll([])
+        return values
+
+    proc = Process(sim, body())
+    sim.run()
+    assert proc.completion.result() == []
+
+
+def test_wait_all_propagates_first_failure(sim):
+    futs = [SimFuture(sim), SimFuture(sim)]
+
+    def body():
+        yield WaitAll(futs)
+
+    proc = Process(sim, body())
+    sim.call_after(1.0, futs[1].fail, RuntimeError("bad"))
+    sim.run()
+    assert proc.completion.failed
+    with pytest.raises(RuntimeError, match="bad"):
+        proc.completion.result()
+
+
+def test_crash_fails_completion(sim):
+    def body():
+        yield Sleep(1.0)
+        raise KeyError("crash")
+
+    proc = Process(sim, body())
+    sim.run()
+    assert proc.completion.failed
+    with pytest.raises(KeyError):
+        proc.completion.result()
+
+
+def test_interrupt_during_sleep(sim):
+    log = []
+
+    def body():
+        try:
+            yield Sleep(100.0)
+        except Interrupted as exc:
+            log.append((exc.cause, sim.now))
+
+    proc = Process(sim, body())
+    sim.call_after(2.0, proc.interrupt, "wake-up")
+    sim.run()
+    assert log == [("wake-up", 2.0)]
+    assert sim.now == 2.0  # sleep did not run to completion
+
+
+def test_interrupt_during_future_wait(sim):
+    fut = SimFuture(sim)
+    log = []
+
+    def body():
+        try:
+            yield Wait(fut)
+        except Interrupted as exc:
+            log.append(exc.cause)
+        # process keeps running after handling the interrupt
+        yield Sleep(1.0)
+        return "survived"
+
+    proc = Process(sim, body())
+    sim.call_after(1.0, proc.interrupt, "now")
+    sim.run()
+    assert log == ["now"]
+    assert proc.completion.result() == "survived"
+
+
+def test_unhandled_interrupt_kills_process(sim):
+    def body():
+        yield Sleep(10.0)
+
+    proc = Process(sim, body())
+    sim.call_after(1.0, proc.interrupt, None)
+    sim.run()
+    assert proc.completion.failed
+    with pytest.raises(Interrupted):
+        proc.completion.result()
+
+
+def test_interrupt_finished_process_is_noop(sim):
+    def body():
+        yield Sleep(1.0)
+
+    proc = Process(sim, body())
+    sim.run()
+    proc.interrupt("late")
+    sim.run()
+    assert proc.completion.result() is None
+
+
+def test_checkpoint_is_interruption_point(sim):
+    progress = []
+
+    def body():
+        for i in range(100):
+            progress.append(i)
+            yield Checkpoint()
+
+    proc = Process(sim, body())
+    sim.call_soon(proc.interrupt, "stop")
+    sim.run()
+    assert proc.completion.failed
+    assert len(progress) < 100
+
+
+def test_invalid_yield_value_crashes_process(sim):
+    def body():
+        yield "not a syscall"  # type: ignore[misc]
+
+    proc = Process(sim, body())
+    sim.run()
+    assert proc.completion.failed
+    with pytest.raises(ProcessError):
+        proc.completion.result()
+
+
+def test_negative_sleep_rejected():
+    with pytest.raises(ProcessError):
+        Sleep(-1.0)
+
+
+def test_spawn_helper_names_process(sim):
+    def worker(n):
+        yield Sleep(n)
+        return n * 2
+
+    proc = spawn(sim, worker, 3.0)
+    assert proc.name == "worker"
+    sim.run()
+    assert proc.completion.result() == 6.0
+
+
+def test_finally_blocks_run_on_interrupt(sim):
+    cleaned = []
+
+    def body():
+        try:
+            yield Sleep(50.0)
+        finally:
+            cleaned.append(True)
+
+    proc = Process(sim, body())
+    sim.call_after(1.0, proc.interrupt, None)
+    sim.run()
+    assert cleaned == [True]
+
+
+def test_two_processes_interleave(sim):
+    log = []
+
+    def ticker(name, period, count):
+        for _ in range(count):
+            yield Sleep(period)
+            log.append((name, sim.now))
+
+    Process(sim, ticker("fast", 1.0, 3))
+    Process(sim, ticker("slow", 2.0, 2))
+    sim.run()
+    assert log == [
+        ("fast", 1.0), ("slow", 2.0), ("fast", 2.0),
+        ("fast", 3.0), ("slow", 4.0),
+    ]
