@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quick-mode E2 smoke check for CI.
+
+Runs a reduced locate sweep (seconds, not minutes), asserts the cached
+locator's headline claim — ``cached`` costs no more messages per post
+than ``path`` and exactly one once hot — and emits the machine-readable
+``BENCH_locate.json`` at the repo root.
+
+Run:  PYTHONPATH=src python benchmarks/smoke_e2.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from bench_e2_locate import REPO_ROOT, _rows, assert_e2_shape  # noqa: E402
+from repro.bench.experiments import run_e2  # noqa: E402
+from repro.bench.harness import emit_json  # noqa: E402
+
+
+def main() -> None:
+    table = run_e2(cluster_sizes=(2, 8, 16), depths=(1, 4), posts=5)
+    assert_e2_shape(table)
+    rows = _rows(table)
+    cached = {(r["nodes"], r["migration depth"]): r["msgs/post"]
+              for r in rows if r["locator"] == "cached (hot)"}
+    path = {(r["nodes"], r["migration depth"]): r["msgs/post"]
+            for r in rows if r["locator"] == "path"}
+    for key, msgs in cached.items():
+        assert msgs <= path[key], \
+            f"cached (hot) {msgs} msgs/post exceeds path {path[key]} at {key}"
+    emit_json(table, REPO_ROOT / "BENCH_locate.json", experiment="e2_locate",
+              cluster_sizes=[2, 8, 16], depths=[1, 4], posts=5, quick=True)
+    print(table.render())
+    print("\nsmoke OK: cached (hot) <= path msgs/post on every row")
+
+
+if __name__ == "__main__":
+    main()

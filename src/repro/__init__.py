@@ -29,6 +29,7 @@ from repro.events import Decision, EventBlock, HandlerContext, names as events
 from repro.kernel import (
     ClusterConfig,
     LOCATE_BROADCAST,
+    LOCATE_CACHED,
     LOCATE_MULTICAST,
     LOCATE_PATH,
     OBJ_EVENTS_MASTER,
@@ -53,6 +54,7 @@ __all__ = [
     "HandlerContext",
     "IoChannel",
     "LOCATE_BROADCAST",
+    "LOCATE_CACHED",
     "LOCATE_MULTICAST",
     "LOCATE_PATH",
     "OBJ_EVENTS_MASTER",

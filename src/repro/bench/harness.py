@@ -7,6 +7,8 @@ time the underlying runs. EXPERIMENTS.md records the printed rows.
 
 from __future__ import annotations
 
+import json
+import pathlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
@@ -64,6 +66,24 @@ class Table:
     def show(self) -> None:
         print()
         print(self.render())
+
+
+def emit_json(table: Table, path: str | pathlib.Path,
+              experiment: str, **extra: Any) -> dict:
+    """Write a table as machine-readable JSON so successive PRs can track
+    the perf trajectory. Returns the payload that was written."""
+    payload: dict[str, Any] = {
+        "experiment": experiment,
+        "title": table.title,
+        "columns": table.columns,
+        "rows": table.rows,
+        "notes": table.notes,
+        **extra,
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2,
+                                             sort_keys=False) + "\n",
+                                  encoding="utf-8")
+    return payload
 
 
 def sweep(values: Iterable[Any], fn: Callable[[Any], Any]) -> list[Any]:

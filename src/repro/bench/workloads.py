@@ -48,6 +48,33 @@ def deep_thread(cluster: Cluster, depth: int, hold: float = 1e6):
     return thread
 
 
+class Bouncer(DistObject):
+    """Carries a thread back and forth between two nodes forever —
+    the adversarial target for hint-cached location (E2)."""
+
+    @entry
+    def bounce(self, ctx, other, dwell):
+        while True:
+            yield ctx.invoke(other, "dwell", dwell)
+            yield ctx.sleep(dwell)
+
+    @entry
+    def dwell(self, ctx, seconds):
+        yield ctx.sleep(seconds)
+        return None
+
+
+def bouncing_thread(cluster: Cluster, dwell: float = 0.05,
+                    nodes: tuple[int, int] = (1, 2)):
+    """Spawn a thread that keeps migrating between two nodes; returns it
+    once the bouncing is underway."""
+    a = cluster.create_object(Bouncer, node=nodes[0])
+    b = cluster.create_object(Bouncer, node=nodes[1])
+    thread = cluster.spawn(a, "bounce", b, dwell, at=0)
+    cluster.run(until=cluster.now + dwell / 2)
+    return thread
+
+
 class EventSink(DistObject):
     """A thread body that absorbs user events cheaply."""
 

@@ -37,15 +37,23 @@ from repro.events.handlers import Decision, HandlerContext, HandlerRegistration
 from repro.events.locate import (
     MSG_BCAST_POST,
     MSG_BCAST_REPLY,
+    MSG_CACHED_POST,
     MSG_MCAST_POST,
     MSG_MCAST_REPLY,
     MSG_PATH_POST,
     BroadcastLocator,
+    CachedLocator,
     MulticastLocator,
     PathLocator,
     make_locator,
 )
+from repro.kernel.config import (
+    LOCATE_BROADCAST,
+    LOCATE_MULTICAST,
+    LOCATE_PATH,
+)
 from repro.net.message import Message
+from repro.net.stats import LatencyReservoir
 from repro.objects.capability import Capability
 from repro.sim.primitives import SimFuture
 from repro.threads import syscalls as sc
@@ -75,8 +83,9 @@ class EventManager:
     def __init__(self, cluster: "Cluster") -> None:
         self.cluster = cluster
         self.locator = make_locator(cluster.config.locator, self)
-        # All three strategies answer their own message types, so mixed
-        # experiments can instantiate them side by side.
+        # All strategies answer their own message types, so mixed
+        # experiments can instantiate them side by side; the cached
+        # locator also borrows one of the three as its fallback.
         self._path = (self.locator if isinstance(self.locator, PathLocator)
                       else PathLocator(self))
         self._bcast = (self.locator
@@ -85,6 +94,9 @@ class EventManager:
         self._mcast = (self.locator
                        if isinstance(self.locator, MulticastLocator)
                        else MulticastLocator(self))
+        self._cached = (self.locator
+                        if isinstance(self.locator, CachedLocator)
+                        else CachedLocator(self))
         for kernel in cluster.kernels.values():
             kernel.register_message_handler(MSG_POST_OBJECT,
                                             self._on_post_object)
@@ -99,14 +111,28 @@ class EventManager:
                                             self._mcast.on_message)
             kernel.register_message_handler(MSG_MCAST_REPLY,
                                             self._mcast.on_reply)
+            kernel.register_message_handler(MSG_CACHED_POST,
+                                            self._cached.on_message)
         #: block_id -> pending synchronous-raise record
         self._sync_waits: dict[int, dict] = {}
         #: delivery statistics for the benchmarks
         self.posts = 0
         self.delivered = 0
         self.dead_targets = 0
-        #: per-delivery (event, raise->deliver virtual latency) samples
-        self.delivery_latencies: list[tuple[str, float]] = []
+        #: per-delivery (event, raise->deliver virtual latency) samples —
+        #: a bounded reservoir so long runs stop accumulating memory
+        self.delivery_latencies = LatencyReservoir(
+            cluster.config.latency_reservoir_capacity)
+
+    def base_locator(self, name: str) -> Any:
+        """One of the three paper strategies, by config name (shared
+        instances; used as the cached locator's fallback)."""
+        return {LOCATE_PATH: self._path, LOCATE_BROADCAST: self._bcast,
+                LOCATE_MULTICAST: self._mcast}[name]
+
+    def delivery_latency_summary(self) -> dict[str, float]:
+        """count/mean/p50/p99 over the raise->deliver latency samples."""
+        return self.delivery_latencies.summary()
 
     # ==================================================================
     # raising (§5.3)
@@ -298,6 +324,14 @@ class EventManager:
         if thread is None or not thread.alive or thread.state == TERMINATING:
             return False
         thread.pending_notices.append(block)
+        # Location hints (§7.1 cached locator): the delivering node knows
+        # the thread is here, and the raiser learns it from the delivery
+        # acknowledgement it already receives — no extra round trips.
+        kernels = self.cluster.kernels
+        kernels[node].location_hints.install(tid, node)
+        origin = block.raiser_node
+        if origin is not None and origin != node and origin in kernels:
+            kernels[origin].location_hints.install(tid, node)
         self.cluster.tracer.emit("event", "enqueue", event=block.event,
                                  tid=str(tid), node=node)
         thread.notice_arrived()
@@ -319,13 +353,13 @@ class EventManager:
         if not thread.pending_notices:
             self._end_suspension(thread)
             return
-        block = thread.pending_notices.pop(0)
+        block = thread.pending_notices.popleft()
         thread.delivering_event = block.event
         block.delivered_at = self.cluster.sim.now
         block.snapshot = thread.snapshot()
         self.delivered += 1
-        self.delivery_latencies.append(
-            (block.event, block.delivered_at - block.raised_at))
+        self.delivery_latencies.record(
+            block.event, block.delivered_at - block.raised_at)
         self.cluster.tracer.emit("event", "deliver", event=block.event,
                                  tid=str(thread.tid),
                                  node=thread.current_node)
@@ -804,6 +838,7 @@ class EventManager:
         """
         self.cluster.fabric.multicast_groups.join(
             thread.tid.multicast_group, node)
+        self.cluster.kernels[node].location_hints.install(thread.tid, node)
         if thread.kind == KIND_USER:
             for spec in thread.attributes.timers:
                 if spec.spec_id not in thread.armed_timers:
@@ -812,6 +847,9 @@ class EventManager:
     def thread_leaving_node(self, thread: DThread, node: int,
                             frames_remain: bool) -> None:
         """The thread's innermost frame is departing ``node``."""
+        # The node's own "it is here" hint is now stale; the TCB
+        # forwarding pointer (set right after this hook) takes over.
+        self.cluster.kernels[node].location_hints.invalidate(thread.tid)
         for spec_id in list(thread.armed_timers):
             armed_node, timer_id = thread.armed_timers[spec_id]
             if armed_node == node:
@@ -823,6 +861,11 @@ class EventManager:
         if node != thread.tid.root:
             self.cluster.fabric.multicast_groups.leave(
                 thread.tid.multicast_group, node)
+        # The TCB is gone too; leave a forwarding hint so cached posts
+        # chasing a stale pointer still make progress toward the thread.
+        if thread.alive and thread.current_node != node:
+            self.cluster.kernels[node].location_hints.install(
+                thread.tid, thread.current_node)
 
     def thread_gone(self, thread: DThread) -> None:
         """The thread finished or was terminated; final cleanup."""
@@ -831,11 +874,15 @@ class EventManager:
             self.cluster.kernels[node].timers.cancel(timer_id)
         self.cluster.fabric.multicast_groups.dissolve(
             thread.tid.multicast_group)
+        # Dead threads must not linger in any node's location cache: a
+        # post must miss everywhere and reach §7.2 dead-target detection.
+        for kernel in self.cluster.kernels.values():
+            kernel.location_hints.invalidate(thread.tid)
         # Notices still queued die with the thread; synchronous raisers
         # must not hang (§7.2).
-        for block in thread.pending_notices:
+        while thread.pending_notices:
+            block = thread.pending_notices.popleft()
             self._complete_sync(block, None,
                                 DeadThreadError(f"{thread.tid} terminated "
                                                 "before delivery"),
                                 from_node=thread.tid.root)
-        thread.pending_notices.clear()

@@ -18,6 +18,16 @@ one interface:
   executing in another, the thread-management system can join the
   multicast group" — the notice is multicast to the thread's group and
   only the node holding the innermost activation accepts it.
+* :class:`CachedLocator` — the optimisation the paper leaves on the
+  table: each kernel caches ``tid -> node`` hints (installed by every
+  successful delivery, piggy-backed on existing replies) and a post goes
+  straight to the hinted node with a single message. On a stale hint the
+  receiving kernel chases its TCB ``next_node`` forwarding pointer with
+  the notice itself, bounded by ``locate_retries`` forwards; only on
+  exhaustion does the post fall back to the configured base strategy
+  (``cache_fallback``: path, broadcast or multicast). Steady-state posts
+  to a stationary thread cost one message regardless of cluster size and
+  migration depth.
 
 Because threads keep moving while notices are in flight, every strategy
 retries a bounded number of times before declaring the thread dead.
@@ -31,6 +41,7 @@ from repro.errors import KernelError
 from repro.events.block import EventBlock
 from repro.kernel.config import (
     LOCATE_BROADCAST,
+    LOCATE_CACHED,
     LOCATE_MULTICAST,
     LOCATE_PATH,
 )
@@ -45,6 +56,7 @@ MSG_BCAST_POST = "locate.bcast"
 MSG_BCAST_REPLY = "locate.bcast-reply"
 MSG_MCAST_POST = "locate.mcast"
 MSG_MCAST_REPLY = "locate.mcast-reply"
+MSG_CACHED_POST = "locate.cached"
 
 #: Result callback: (delivered, hops) — hops is the count of routing
 #: messages this post consumed (broadcast counts fan-out copies).
@@ -268,6 +280,98 @@ class MulticastLocator(BaseLocator):
                             body["on_result"])
 
 
+class CachedLocator(BaseLocator):
+    """Post to the hinted node directly; chase TCB pointers on a miss.
+
+    The per-node hint tables live in the kernels
+    (:class:`repro.kernel.tcb.LocationHintTable`) and are maintained by
+    the event manager's delivery/migration hooks, so hints stay warm
+    without any extra round trips. A post is then:
+
+    1. **hit fast path** — one direct message to the hinted node;
+    2. **stale hint** — the receiving kernel forwards the notice along
+       its TCB ``next_node`` pointer (or its own fresher hint), bounded
+       by ``locate_retries`` forwards;
+    3. **fallback** — no hint, dead pointer chain or exhausted budget:
+       the configured base strategy (``cache_fallback``) takes over and
+       also performs §7.2 dead-target detection.
+    """
+
+    name = LOCATE_CACHED
+
+    @property
+    def base(self) -> BaseLocator:
+        """The fallback strategy instance (shared with the manager)."""
+        return self.manager.base_locator(self.cluster.config.cache_fallback)
+
+    def post(self, from_node: int, tid: ThreadId, block: EventBlock,
+             on_result: PostResult) -> None:
+        state = {"hops": 0,
+                 "forwards": self.cluster.config.locate_retries,
+                 "from_node": from_node}
+        hint = self.cluster.kernels[from_node].location_hints.get(tid)
+        if hint is None or hint == from_node:
+            # Cold cache (or a useless self-hint: the local fast path
+            # already failed upstream): straight to the base strategy.
+            self._fallback(tid, block, state, on_result)
+            return
+        self._send(from_node, hint, tid, block, state, on_result)
+
+    def _send(self, from_node: int, to_node: int, tid: ThreadId,
+              block: EventBlock, state: dict, on_result: PostResult) -> None:
+        if from_node == to_node:
+            self._arrived(to_node, tid, block, state, on_result)
+            return
+        state["hops"] += 1
+        self.cluster.fabric.send(Message(
+            src=from_node, dst=to_node, mtype=MSG_CACHED_POST, size=128,
+            payload={"tid": tid, "block": block, "state": state,
+                     "on_result": on_result}))
+
+    def on_message(self, message: Message) -> None:
+        body = message.payload
+        self._arrived(int(message.dst), body["tid"], body["block"],
+                      body["state"], body["on_result"])
+
+    def _arrived(self, node: int, tid: ThreadId, block: EventBlock,
+                 state: dict, on_result: PostResult) -> None:
+        if self._accept(node, tid, block):
+            on_result(True, state["hops"])
+            return
+        # Stale hint: chase the TCB forwarding pointer with the notice
+        # itself — the thread invoked onward and this kernel knows where.
+        kernel = self.cluster.kernels[node]
+        tcb = kernel.thread_table.get(tid)
+        next_node = tcb.next_node if tcb is not None else None
+        if next_node is None:
+            # No TCB (the thread returned past this node): this kernel's
+            # own hint table may know where it went.
+            fresher = kernel.location_hints.peek(tid)
+            if fresher is not None and fresher != node:
+                next_node = fresher
+        if (next_node is not None and state["forwards"] > 0
+                and tid in self.cluster.live_threads):
+            state["forwards"] -= 1
+            kernel.location_hints.install(tid, next_node)
+            self._send(node, next_node, tid, block, state, on_result)
+            return
+        # Exhausted or dead end: drop the origin's hint so the next post
+        # does not repeat the wasted message, then let the base strategy
+        # find the thread (or declare it dead, §7.2).
+        self.cluster.kernels[state["from_node"]].location_hints.invalidate(
+            tid)
+        self._fallback(tid, block, state, on_result)
+
+    def _fallback(self, tid: ThreadId, block: EventBlock, state: dict,
+                  on_result: PostResult) -> None:
+        hops_so_far = state["hops"]
+
+        def relay(delivered: bool, hops: int) -> None:
+            on_result(delivered, hops_so_far + hops)
+
+        self.base.post(state["from_node"], tid, block, relay)
+
+
 def make_locator(name: str, manager: "EventManager") -> BaseLocator:
     """Instantiate the configured strategy."""
     if name == LOCATE_PATH:
@@ -276,4 +380,6 @@ def make_locator(name: str, manager: "EventManager") -> BaseLocator:
         return BroadcastLocator(manager)
     if name == LOCATE_MULTICAST:
         return MulticastLocator(manager)
+    if name == LOCATE_CACHED:
+        return CachedLocator(manager)
     raise KernelError(f"unknown locator {name!r}")

@@ -3,6 +3,7 @@
 from repro.kernel.config import (
     ClusterConfig,
     LOCATE_BROADCAST,
+    LOCATE_CACHED,
     LOCATE_MULTICAST,
     LOCATE_PATH,
     OBJ_EVENTS_MASTER,
@@ -14,6 +15,7 @@ from repro.kernel.config import (
 __all__ = [
     "ClusterConfig",
     "LOCATE_BROADCAST",
+    "LOCATE_CACHED",
     "LOCATE_MULTICAST",
     "LOCATE_PATH",
     "OBJ_EVENTS_MASTER",

@@ -12,11 +12,16 @@ from dataclasses import dataclass, field
 
 from repro.errors import KernelError
 
-#: Locator strategy names (section 7.1 of the paper).
+#: Locator strategy names (section 7.1 of the paper). ``cached`` is the
+#: optimisation the paper leaves on the table: remember where the thread
+#: was last found and post there directly, falling back to a base
+#: strategy on a miss.
 LOCATE_BROADCAST = "broadcast"
 LOCATE_PATH = "path"
 LOCATE_MULTICAST = "multicast"
-LOCATOR_NAMES = (LOCATE_BROADCAST, LOCATE_PATH, LOCATE_MULTICAST)
+LOCATE_CACHED = "cached"
+BASE_LOCATOR_NAMES = (LOCATE_BROADCAST, LOCATE_PATH, LOCATE_MULTICAST)
+LOCATOR_NAMES = BASE_LOCATOR_NAMES + (LOCATE_CACHED,)
 
 #: Invocation transports (section 2: "RPC or DSM").
 TRANSPORT_RPC = "rpc"
@@ -88,6 +93,13 @@ class ClusterConfig:
     sync_raise_timeout: float | None = None
     locate_retries: int = 8
     locate_retry_delay: float = 2e-3
+    #: Base strategy the ``cached`` locator falls back to when it has no
+    #: hint or exhausted its forwarding budget.
+    cache_fallback: str = LOCATE_PATH
+    #: Per-node capacity of the tid -> node location-hint table (LRU).
+    location_hint_capacity: int = 1024
+    #: Retained samples in the event manager's delivery-latency reservoir.
+    latency_reservoir_capacity: int = 4096
     #: Post an ABORT event to each object a terminating thread unwinds out
     #: of, so "all of the objects get a chance to perform appropriate
     #: cleanup operations" (§6.3).
@@ -101,6 +113,14 @@ class ClusterConfig:
         if self.locator not in LOCATOR_NAMES:
             raise KernelError(
                 f"unknown locator {self.locator!r}; choose from {LOCATOR_NAMES}")
+        if self.cache_fallback not in BASE_LOCATOR_NAMES:
+            raise KernelError(
+                f"unknown cache_fallback {self.cache_fallback!r}; "
+                f"choose from {BASE_LOCATOR_NAMES}")
+        if self.location_hint_capacity < 1:
+            raise KernelError("location_hint_capacity must be >= 1")
+        if self.latency_reservoir_capacity < 1:
+            raise KernelError("latency_reservoir_capacity must be >= 1")
         if self.default_transport not in TRANSPORT_NAMES:
             raise KernelError(
                 f"unknown transport {self.default_transport!r}; "

@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import KernelError
 from repro.kernel.rpc import MSG_REPLY, MSG_REQUEST, RpcEngine
-from repro.kernel.tcb import ThreadTable
+from repro.kernel.tcb import LocationHintTable, ThreadTable
 from repro.kernel.timers import TimerService
 from repro.net.message import Message
 
@@ -35,6 +35,8 @@ class Kernel:
         self.rpc = RpcEngine(cluster.sim, cluster.fabric, node_id)
         self.timers = TimerService(cluster.sim, node_id)
         self.thread_table = ThreadTable(node_id)
+        self.location_hints = LocationHintTable(
+            node_id, capacity=cluster.config.location_hint_capacity)
         # Attached by the cluster builder:
         self.objects: Any = None   # repro.objects.manager.ObjectManager
         self.invoker: Any = None   # repro.objects.invocation.InvocationEngine

@@ -1,4 +1,4 @@
-"""Per-node thread-control blocks.
+"""Per-node thread-control blocks and location-hint tables.
 
 Each node's kernel keeps a :class:`ThreadTable` recording, for every
 logical thread that currently has activations on the node, how many frames
@@ -9,10 +9,17 @@ a forwarding pointer to the node the thread invoked into next.
 The chain ``root → next_node → … → innermost`` is exactly the path the
 paper describes walking "starting with the root node … using information
 in the system's thread-control blocks".
+
+The kernel also keeps a :class:`LocationHintTable`: a bounded LRU cache
+of ``tid -> node`` *hints* recording where each thread was last observed.
+Hints are best-effort (they may be stale the moment a thread migrates)
+and are consumed by the ``cached`` locator, which posts directly to the
+hinted node and chases TCB forwarding pointers on a miss.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import KernelError
@@ -100,3 +107,72 @@ class ThreadTable:
             raise KernelError(
                 f"node {self.node_id} has no TCB for thread {tid!r}")
         return tcb
+
+
+class LocationHintTable:
+    """Bounded LRU cache of ``tid -> node`` last-known-location hints.
+
+    Installed by successful deliveries, locate replies and the migration
+    hooks; consumed by the ``cached`` locator. A hint is advisory: a
+    lookup that points at a node no longer holding the thread costs one
+    wasted message, after which the chase falls back on TCB forwarding
+    pointers and ultimately the configured base strategy.
+    """
+
+    def __init__(self, node_id: int, capacity: int = 1024) -> None:
+        self.node_id = node_id
+        self.capacity = capacity
+        self._hints: OrderedDict[object, int] = OrderedDict()
+        #: counters surfaced by :meth:`stats` for benchmarks/diagnostics
+        self.hits = 0
+        self.misses = 0
+        self.installs = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._hints)
+
+    def __contains__(self, tid: object) -> bool:
+        return tid in self._hints
+
+    def get(self, tid: object) -> int | None:
+        """Consume a hint (counts a hit or a miss, refreshes LRU order)."""
+        node = self._hints.get(tid)
+        if node is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._hints.move_to_end(tid)
+        return node
+
+    def peek(self, tid: object) -> int | None:
+        """Read a hint without touching hit/miss counters or LRU order."""
+        return self._hints.get(tid)
+
+    def install(self, tid: object, node: int) -> None:
+        """Record that ``tid`` was last observed executing on ``node``."""
+        self.installs += 1
+        if tid in self._hints:
+            self._hints.move_to_end(tid)
+        self._hints[tid] = node
+        while len(self._hints) > self.capacity:
+            self._hints.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, tid: object) -> bool:
+        """Drop the hint for ``tid``. True if one was present."""
+        if self._hints.pop(tid, None) is not None:
+            self.invalidations += 1
+            return True
+        return False
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._hints),
+            "hits": self.hits,
+            "misses": self.misses,
+            "installs": self.installs,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }

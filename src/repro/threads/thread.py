@@ -19,6 +19,7 @@ stopped at the point of delivery", §3).
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import (
@@ -105,8 +106,9 @@ class DThread:
         self.state = NEW
         self.frames: list[Activation] = []
         self.completion: SimFuture[Any] = SimFuture(cluster.sim)
-        #: pending event notices queued for this thread
-        self.pending_notices: list[Any] = []
+        #: pending event notices queued for this thread (FIFO; delivery
+        #: pops from the left, so a deque keeps each pop O(1))
+        self.pending_notices: deque[Any] = deque()
         #: true while the delivery engine owns the thread
         self.suspended_by_event = False
         #: continuation that arrived while suspended

@@ -143,7 +143,9 @@ class TestExperimentSmoke:
         from repro.bench.experiments import run_e2
 
         table = run_e2(cluster_sizes=(2, 4), depths=(1,), posts=3)
-        assert len(table.rows) == 6  # 3 locators x 2 sizes
+        # 3 paper locators x 2 sizes, cached hot+cold x 2 sizes, and one
+        # cached migrating-target row (needs >= 3 nodes)
+        assert len(table.rows) == 11
 
     def test_e3(self):
         from repro.bench.experiments import run_e3

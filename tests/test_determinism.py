@@ -7,7 +7,7 @@ latencies must be exact, not averages over nondeterministic runs.
 from repro import Cluster, ClusterConfig
 from repro.apps import run_pager_workload
 from repro.apps.search import run_search
-from repro.bench.workloads import ctrl_c_app
+from repro.bench.workloads import bouncing_thread, ctrl_c_app
 from repro.apps.termination import press_ctrl_c
 
 
@@ -28,6 +28,23 @@ def _search_fingerprint(seed, notify=True):
             result.virtual_time, cluster.fabric.stats.snapshot())
 
 
+def _cached_locator_fingerprint(seed):
+    """Hint-cache maintenance, chasing and fallback under a migrating
+    target — the cached locator must not break bit-identical replay."""
+    cluster = Cluster(ClusterConfig(n_nodes=6, seed=seed, locator="cached"))
+    thread = bouncing_thread(cluster, dwell=0.05, nodes=(1, 2))
+    for _ in range(8):
+        cluster.raise_event("INTERRUPT", thread.tid, from_node=0)
+        cluster.run(until=cluster.now + 0.03)
+    cluster.raise_event("TERMINATE", thread.tid, from_node=3)
+    cluster.run()
+    hint_stats = {node: kernel.location_hints.stats()
+                  for node, kernel in cluster.kernels.items()}
+    return (cluster.now, cluster.fabric.stats.snapshot(),
+            cluster.tracer.signature(), hint_stats,
+            cluster.events.delivery_latency_summary())
+
+
 def _pager_fingerprint(seed):
     cluster = Cluster(ClusterConfig(n_nodes=4, seed=seed, trace_net=False))
     result = run_pager_workload(cluster, faulters=3, keys_per_thread=2,
@@ -45,6 +62,9 @@ class TestDeterminism:
 
     def test_pager_run_is_bit_identical(self):
         assert _pager_fingerprint(3) == _pager_fingerprint(3)
+
+    def test_cached_locator_run_is_bit_identical(self):
+        assert _cached_locator_fingerprint(11) == _cached_locator_fingerprint(11)
 
     def test_different_search_seeds_differ(self):
         # the candidate space is seeded: different seeds, different work

@@ -17,7 +17,8 @@ def _deep_thread(cluster, depth):
     return thread
 
 
-@pytest.mark.parametrize("locator", ["path", "broadcast", "multicast"])
+@pytest.mark.parametrize("locator", ["path", "broadcast", "multicast",
+                                     "cached"])
 class TestAllLocators:
     def test_finds_thread_at_root(self, locator):
         cluster = make_cluster(n_nodes=4, locator=locator)
@@ -155,6 +156,142 @@ class TestMulticastMaintenance:
         cluster.raise_event("TERMINATE", thread.tid, from_node=0)
         cluster.run()
         assert cluster.fabric.multicast_groups.members(group) == frozenset()
+
+
+class TwoStage(DistObject):
+    """Holds at its own node, then migrates into ``next_cap`` and holds
+    there — lets a test post before and after a known migration."""
+
+    @entry
+    def stage(self, ctx, next_cap, first_hold, second_hold):
+        yield ctx.sleep(first_hold)
+        result = yield ctx.invoke(next_cap, "hold_here", second_hold)
+        return result
+
+    @entry
+    def hold_here(self, ctx, seconds):
+        yield ctx.sleep(seconds)
+        return "done"
+
+
+class TestCachedLocator:
+    def _held_thread(self, cluster, node):
+        sleeper = cluster.create_object(Sleeper, node=node)
+        thread = cluster.spawn(sleeper, "hold", 1000.0, at=0)
+        cluster.run(until=0.5)
+        return thread
+
+    def test_hint_installed_on_delivery(self):
+        cluster = make_cluster(n_nodes=4, locator="cached")
+        thread = self._held_thread(cluster, node=2)
+        assert cluster.kernels[0].location_hints.peek(thread.tid) is None
+        cluster.raise_event("INTERRUPT", thread.tid, from_node=0)
+        cluster.run(until=cluster.now + 0.2)
+        # The posting kernel learned the thread's location from the
+        # delivery; the delivering kernel knows it trivially.
+        assert cluster.kernels[0].location_hints.peek(thread.tid) == 2
+        assert cluster.kernels[2].location_hints.peek(thread.tid) == 2
+
+    def test_hit_fast_path_costs_one_message(self):
+        cluster = make_cluster(n_nodes=8, locator="cached")
+        thread = _deep_thread(cluster, depth=3)
+        cluster.raise_event("INTERRUPT", thread.tid, from_node=0)
+        cluster.run(until=cluster.now + 0.5)  # warm the cache
+        before = cluster.fabric.stats.snapshot()
+        cluster.raise_event("INTERRUPT", thread.tid, from_node=0)
+        cluster.run(until=cluster.now + 0.5)
+        delta = cluster.fabric.stats.delta_since(before)
+        assert delta["sent"] == 1
+        assert delta.get("type:locate.cached", 0) == 1
+
+    def test_cold_cache_falls_back_to_base(self):
+        cluster = make_cluster(n_nodes=8, locator="cached")
+        thread = _deep_thread(cluster, depth=3)
+        before = cluster.fabric.stats.snapshot()
+        cluster.raise_event("INTERRUPT", thread.tid, from_node=0)
+        cluster.run(until=cluster.now + 0.5)
+        delta = cluster.fabric.stats.delta_since(before)
+        # No hint yet: the whole post rides the path fallback — no
+        # speculative cached message is wasted.
+        assert delta.get("type:locate.cached", 0) == 0
+        assert delta.get("type:locate.path", 0) == 3
+        assert cluster.events.delivered == 1
+
+    def test_stale_hint_forwarded_along_tcb_pointer(self):
+        cluster = make_cluster(n_nodes=4, locator="cached")
+        a = cluster.create_object(TwoStage, node=1)
+        b = cluster.create_object(TwoStage, node=2)
+        thread = cluster.spawn(a, "stage", b, 0.5, 1000.0, at=0)
+        cluster.run(until=0.2)
+        cluster.raise_event("INTERRUPT", thread.tid, from_node=0)
+        cluster.run(until=cluster.now + 0.1)
+        assert cluster.kernels[0].location_hints.peek(thread.tid) == 1
+        cluster.run(until=1.0)  # the thread migrates 1 -> 2
+        assert thread.current_node == 2
+        before = cluster.fabric.stats.snapshot()
+        cluster.raise_event("INTERRUPT", thread.tid, from_node=0)
+        cluster.run(until=cluster.now + 0.2)
+        delta = cluster.fabric.stats.delta_since(before)
+        # Stale hint to node 1, then the notice itself chases the TCB
+        # next_node pointer to node 2 — no fallback round.
+        assert delta.get("type:locate.cached", 0) == 2
+        assert delta.get("type:locate.path", 0) == 0
+        assert cluster.events.delivered == 2
+        # The chase refreshed the hints at origin and at the stale node.
+        assert cluster.kernels[0].location_hints.peek(thread.tid) == 2
+        assert cluster.kernels[1].location_hints.peek(thread.tid) == 2
+
+    def test_fallback_base_strategy_is_configurable(self):
+        cluster = make_cluster(n_nodes=6, locator="cached",
+                               cache_fallback="broadcast")
+        thread = self._held_thread(cluster, node=3)
+        cluster.kernels[0].location_hints.invalidate(thread.tid)
+        before = cluster.fabric.stats.snapshot()
+        cluster.raise_event("INTERRUPT", thread.tid, from_node=0)
+        cluster.run(until=cluster.now + 0.5)
+        delta = cluster.fabric.stats.delta_since(before)
+        assert delta.get("type:locate.bcast", 0) == 5
+        assert cluster.events.delivered >= 1
+
+    def test_dead_target_detected_and_notified(self):
+        """§7.2 still holds behind the cache: posting to a dead thread
+        fails over to the base strategy and raises TARGET_DEAD."""
+        cluster = make_cluster(n_nodes=4, locator="cached")
+        sleeper = cluster.create_object(Sleeper, node=2)
+        victim = cluster.spawn(sleeper, "hold", 1000.0, at=0)
+        cluster.run(until=0.5)
+        cluster.raise_event("INTERRUPT", victim.tid, from_node=1)
+        cluster.run(until=cluster.now + 0.2)  # hints now point at node 2
+        cluster.raise_event("TERMINATE", victim.tid, from_node=0)
+        cluster.run()
+        assert victim.state == "terminated"
+        for kernel in cluster.kernels.values():
+            assert kernel.location_hints.peek(victim.tid) is None
+        future = cluster.raise_and_wait("INTERRUPT", victim.tid,
+                                        from_node=1)
+        cluster.run()
+        with pytest.raises(DeadThreadError):
+            future.result()
+        assert cluster.events.dead_targets >= 1
+
+    def test_hint_table_is_bounded_lru(self):
+        from repro.kernel.tcb import LocationHintTable
+
+        table = LocationHintTable(node_id=0, capacity=2)
+        table.install("t1", 1)
+        table.install("t2", 2)
+        table.install("t3", 3)  # evicts t1
+        assert table.peek("t1") is None
+        assert table.peek("t2") == 2
+        assert table.evictions == 1
+        assert table.get("t2") == 2  # refreshes LRU order
+        table.install("t4", 4)  # evicts t3, not t2
+        assert table.peek("t3") is None
+        assert table.peek("t2") == 2
+        stats = table.stats()
+        assert stats["size"] == 2
+        assert stats["hits"] == 1
+        assert stats["misses"] == 0
 
 
 class TestChasing:

@@ -264,3 +264,39 @@ class TestStatsAndTrace:
         assert reply.src == 7
         assert reply.dst == 3
         assert reply.payload == "ok"
+
+
+class TestLatencyReservoir:
+    def test_empty_reservoir(self):
+        from repro.net.stats import LatencyReservoir
+
+        res = LatencyReservoir(capacity=8)
+        assert res.count == 0
+        assert res.mean == 0.0
+        assert res.p50 == 0.0
+        assert res.last(3) == []
+        assert res.summary() == {"count": 0, "mean": 0.0, "p50": 0.0,
+                                 "p99": 0.0, "retained": 0}
+
+    def test_running_aggregates_survive_eviction(self):
+        from repro.net.stats import LatencyReservoir
+
+        res = LatencyReservoir(capacity=4)
+        for i in range(10):
+            res.record("EVT", float(i))
+        # count/mean cover everything ever recorded ...
+        assert res.count == 10
+        assert res.mean == sum(range(10)) / 10
+        # ... the window keeps only the newest `capacity` samples.
+        assert len(res) == 4
+        assert res.last(2) == [("EVT", 8.0), ("EVT", 9.0)]
+        assert res.p50 == 8.0  # nearest rank over [6, 7, 8, 9]
+        assert res.p99 == 9.0
+
+    def test_capacity_validated(self):
+        import pytest
+
+        from repro.net.stats import LatencyReservoir
+
+        with pytest.raises(ValueError):
+            LatencyReservoir(capacity=0)
