@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quick-mode chaos smoke check for CI.
+
+Runs a reduced drop-rate sweep with periodic crash/recover (seconds, not
+minutes), asserts the reliability guarantees — exactly-once handler
+execution, zero lost-or-hung posts, determinism — and emits the
+machine-readable ``BENCH_chaos.json`` at the repo root.
+
+Run:  PYTHONPATH=src python benchmarks/smoke_chaos.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from bench_chaos import REPO_ROOT, assert_chaos_shape  # noqa: E402
+from repro.bench.chaos import ChaosSpec, run_chaos, run_chaos_sweep  # noqa: E402
+from repro.bench.harness import emit_json  # noqa: E402
+
+DROP_RATES = [0.0, 0.1, 0.2]
+LOCATORS = ["path", "cached"]
+
+
+def main() -> None:
+    base = ChaosSpec(seed=11, posts=60, duplicate_rate=0.05,
+                     crash_period=0.8, down_time=0.5)
+    table, reports = run_chaos_sweep(DROP_RATES, LOCATORS, base)
+    assert_chaos_shape(table, reports)
+    spec = ChaosSpec(seed=23, locator="cached", posts=40, drop_rate=0.1)
+    assert run_chaos(spec).digest == run_chaos(spec).digest, \
+        "same-seed chaos runs must be bit-identical"
+    emit_json(table, REPO_ROOT / "BENCH_chaos.json", experiment="chaos",
+              drop_rates=DROP_RATES, locators=LOCATORS, seed=base.seed,
+              posts=base.posts, n_nodes=base.n_nodes,
+              crash_period=base.crash_period,
+              duplicate_rate=base.duplicate_rate, quick=True,
+              digests=[r.digest for r in reports])
+    print(table.render())
+    print("\nsmoke OK: every post executed exactly once or surfaced a "
+          "notice; same-seed runs bit-identical")
+
+
+if __name__ == "__main__":
+    main()

@@ -47,6 +47,25 @@ class UnknownNodeError(KernelError):
     """Referenced a node id that does not exist in the cluster."""
 
 
+class NodeCrashedError(KernelError):
+    """An operation failed because its node crashed.
+
+    Threads resident on a crashed node fail their completion futures with
+    this error; RPC calls targeting the node fail fast with it when the
+    crash is observed.
+    """
+
+
+class UndeliverableError(NetworkError):
+    """A reliable send exhausted its retransmission budget.
+
+    The receiving node is unreachable (crashed, partitioned beyond the
+    retransmit horizon, or detached); the message was given up on after
+    ``max_retransmits`` attempts. This is the bounded-time signal §7.2
+    asks for in place of a silent hang.
+    """
+
+
 class NameServiceError(KernelError):
     """A name lookup or registration failed."""
 

@@ -29,6 +29,7 @@ from repro.errors import (
     InvocationAborted,
     NoHandlerError,
     ThreadTerminated,
+    UndeliverableError,
     UnknownObjectError,
 )
 from repro.events import defaults, names
@@ -119,6 +120,12 @@ class EventManager:
         self.posts = 0
         self.delivered = 0
         self.dead_targets = 0
+        #: posts that failed with a give-up/deadline (crash or partition)
+        self.undeliverable = 0
+        #: observer hook ``(block, target) -> None`` invoked whenever a
+        #: post fails (dead target, give-up, deadline); the chaos harness
+        #: uses it to account every raiser notice
+        self.on_undeliverable: Any = None
         #: per-delivery (event, raise->deliver virtual latency) samples —
         #: a bounded reservoir so long runs stop accumulating memory
         self.delivery_latencies = LatencyReservoir(
@@ -284,18 +291,35 @@ class EventManager:
                                          hops=0)
                 return
 
+        # Once-guard: under loss and retransmission a locator may report
+        # twice (e.g. a retried probe succeeds after the backstop already
+        # declared failure); only the first verdict counts.
+        state = {"done": False}
+
         def on_result(delivered: bool, hops: int) -> None:
+            if state["done"]:
+                return
+            state["done"] = True
             self.cluster.tracer.emit(
                 "event", "routed" if delivered else "dead-target",
                 event=block.event, tid=str(tid), hops=hops)
             if not delivered:
-                self.dead_targets += 1
                 self._dead_target(block, tid)
 
+        deadline = self.cluster.config.post_deadline
+        if deadline is not None:
+            def backstop() -> None:
+                if not state["done"]:
+                    self.undeliverable += 1
+                    on_result(False, -1)
+            self.cluster.sim.call_after(deadline, backstop)
         self.locator.post(from_node, tid, block, on_result)
 
-    def _dead_target(self, block: EventBlock, tid: ThreadId) -> None:
+    def _dead_target(self, block: EventBlock, tid: Any) -> None:
         """§7.2: the sender of an event to a destroyed thread is notified."""
+        self.dead_targets += 1
+        if self.on_undeliverable is not None:
+            self.on_undeliverable(block, tid)
         if block.synchronous:
             self._complete_sync(block, None,
                                 DeadThreadError(f"thread {tid} is dead"),
@@ -323,6 +347,11 @@ class EventManager:
         thread = self.cluster.live_threads.get(tid)
         if thread is None or not thread.alive or thread.state == TERMINATING:
             return False
+        if not thread.accept_block(block.block_id):
+            # Duplicate arrival (second locate path, late retransmission):
+            # report success — the first copy was accepted — but do not
+            # queue a second handler run.
+            return True
         thread.pending_notices.append(block)
         # Location hints (§7.1 cached locator): the delivering node knows
         # the thread is here, and the raiser learns it from the delivery
@@ -355,6 +384,7 @@ class EventManager:
             return
         block = thread.pending_notices.popleft()
         thread.delivering_event = block.event
+        thread.delivering_block = block
         block.delivered_at = self.cluster.sim.now
         block.snapshot = thread.snapshot()
         self.delivered += 1
@@ -369,6 +399,7 @@ class EventManager:
     def _end_suspension(self, thread: DThread) -> None:
         thread.suspended_by_event = False
         thread.delivering_event = None
+        thread.delivering_block = None
         if not thread.alive:
             return
         if thread.pending_notices:
@@ -408,6 +439,9 @@ class EventManager:
 
     def _apply_decision(self, thread: DThread, block: EventBlock,
                         decision: Decision, value: Any) -> None:
+        # Handling concluded: the block is no longer at risk of dying
+        # with the thread.
+        thread.delivering_block = None
         # The synchronous raiser is resumed when handling concludes,
         # whatever the fate of the target thread.
         self._complete_sync(block, value, None,
@@ -525,9 +559,19 @@ class EventManager:
             self.cluster.sim.call_soon(self._handle_object_post,
                                        cap.home, block, cap.oid)
             return
-        self.cluster.fabric.send(Message(
+        self.cluster.transmit(Message(
             src=from_node, dst=cap.home, mtype=MSG_POST_OBJECT, size=128,
-            payload={"block": block, "oid": cap.oid}))
+            payload={"block": block, "oid": cap.oid}),
+            on_give_up=lambda m: self._object_post_failed(block, cap))
+
+    def _object_post_failed(self, block: EventBlock, cap: Capability) -> None:
+        """A reliable object post exhausted its retransmission budget."""
+        self.undeliverable += 1
+        if self.on_undeliverable is not None:
+            self.on_undeliverable(block, cap)
+        self._complete_sync(block, None, UndeliverableError(
+            f"{block.event} to object {cap.oid} on node {cap.home} "
+            f"undeliverable"), from_node=block.raiser_node or 0)
 
     def _on_post_object(self, message: Message) -> None:
         body = message.payload
@@ -613,9 +657,13 @@ class EventManager:
             self.cluster.sim.call_soon(self._arrive_resume, token, value,
                                        error)
             return
-        self.cluster.fabric.send(Message(
+        self.cluster.transmit(Message(
             src=from_node, dst=record["node"], mtype=MSG_RESUME, size=96,
-            payload={"token": token, "value": value, "error": error}))
+            payload={"token": token, "value": value, "error": error}),
+            on_give_up=lambda m: self._arrive_resume(
+                token, None, UndeliverableError(
+                    f"resume for {block.event} undeliverable to "
+                    f"node {record['node']}")))
 
     def _on_resume(self, message: Message) -> None:
         body = message.payload
@@ -878,11 +926,13 @@ class EventManager:
         # post must miss everywhere and reach §7.2 dead-target detection.
         for kernel in self.cluster.kernels.values():
             kernel.location_hints.invalidate(thread.tid)
-        # Notices still queued die with the thread; synchronous raisers
-        # must not hang (§7.2).
+        # Notices still queued — or mid-delivery — die with the thread;
+        # every raiser, synchronous or not, gets the §7.2 notification
+        # instead of silence.
+        if thread.delivering_block is not None:
+            block = thread.delivering_block
+            thread.delivering_block = None
+            self._dead_target(block, thread.tid)
         while thread.pending_notices:
             block = thread.pending_notices.popleft()
-            self._complete_sync(block, None,
-                                DeadThreadError(f"{thread.tid} terminated "
-                                                "before delivery"),
-                                from_node=thread.tid.root)
+            self._dead_target(block, thread.tid)

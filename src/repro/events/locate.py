@@ -96,6 +96,18 @@ class BaseLocator:
         self.cluster.sim.call_after(
             self.cluster.config.locate_retry_delay, fn)
 
+    def _transmit(self, message: Message,
+                  on_give_up: Callable[[Message], None] | None = None) -> None:
+        """Send via the source kernel's (possibly reliable) channel.
+
+        ``on_give_up`` fires if the reliable channel exhausts its
+        retransmission budget — the destination crashed or is partitioned
+        away — letting the strategy reroute or report a dead target
+        instead of hanging. With reliability off it never fires (the
+        seed's fire-and-forget behaviour).
+        """
+        self.cluster.transmit(message, on_give_up)
+
 
 class PathLocator(BaseLocator):
     """Walk TCB forwarding pointers from the thread's root node."""
@@ -113,10 +125,24 @@ class PathLocator(BaseLocator):
             self._arrived(to_node, tid, block, state, on_result)
             return
         state["hops"] += 1
-        self.cluster.fabric.send(Message(
+
+        def hop_lost(message: Message) -> None:
+            # The next node in the chain is unreachable (crashed): treat
+            # it like a stale pointer and restart from the root. If the
+            # thread died with that node the liveness check fails and the
+            # raiser gets its §7.2 notice.
+            if state["retries"] > 0 and tid in self.cluster.live_threads:
+                state["retries"] -= 1
+                self._retry_later(
+                    lambda: self._hop(from_node, tid.root, tid, block,
+                                      state, on_result))
+                return
+            on_result(False, state["hops"])
+
+        self._transmit(Message(
             src=from_node, dst=to_node, mtype=MSG_PATH_POST, size=128,
             payload={"tid": tid, "block": block, "state": state,
-                     "on_result": on_result}))
+                     "on_result": on_result}), hop_lost)
 
     def on_message(self, message: Message) -> None:
         body = message.payload
@@ -170,23 +196,32 @@ class BroadcastLocator(BaseLocator):
         pending = {"found": False, "replies": 0, "expected": len(others)}
         state["hops"] += len(others)
         for node in others:
-            self.cluster.fabric.send(Message(
+            payload = {"tid": tid, "block": block, "state": state,
+                       "pending": pending, "on_result": on_result}
+            self._transmit(Message(
                 src=from_node, dst=node, mtype=MSG_BCAST_POST, size=128,
-                payload={"tid": tid, "block": block, "state": state,
-                         "pending": pending, "on_result": on_result}))
+                payload=payload),
+                lambda m, p=payload: self._probe_lost(p))
+
+    def _probe_lost(self, body: dict) -> None:
+        """A probe (or its reply) is undeliverable: count a not-found."""
+        self.on_reply(Message(src=-1, dst=-1, mtype=MSG_BCAST_REPLY,
+                              payload={**body, "found": False}))
 
     def on_message(self, message: Message) -> None:
         body = message.payload
         node = int(message.dst)
         found = self._accept(node, body["tid"], body["block"])
         body["state"]["hops"] += 1  # the reply
-        self.cluster.fabric.send(Message(
+        payload = {"found": found, "tid": body["tid"],
+                   "block": body["block"], "state": body["state"],
+                   "pending": body["pending"],
+                   "on_result": body["on_result"]}
+        self._transmit(Message(
             src=node, dst=body["state"]["from_node"],
-            mtype=MSG_BCAST_REPLY, size=64,
-            payload={"found": found, "tid": body["tid"],
-                     "block": body["block"], "state": body["state"],
-                     "pending": body["pending"],
-                     "on_result": body["on_result"]}))
+            mtype=MSG_BCAST_REPLY, size=64, payload=payload),
+            lambda m, p=payload: self.on_reply(
+                Message(src=-1, dst=-1, mtype=MSG_BCAST_REPLY, payload=p)))
 
     def on_reply(self, message: Message) -> None:
         body = message.payload
@@ -238,10 +273,17 @@ class MulticastLocator(BaseLocator):
         pending = {"found": False, "replies": 0, "expected": len(targets)}
         state["hops"] += len(targets)
         for node in targets:
-            self.cluster.fabric.send(Message(
+            payload = {"tid": tid, "block": block, "state": state,
+                       "pending": pending, "on_result": on_result}
+            self._transmit(Message(
                 src=from_node, dst=node, mtype=MSG_MCAST_POST, size=128,
-                payload={"tid": tid, "block": block, "state": state,
-                         "pending": pending, "on_result": on_result}))
+                payload=payload),
+                lambda m, p=payload: self._probe_lost(p))
+
+    def _probe_lost(self, body: dict) -> None:
+        """A probe (or its reply) is undeliverable: count a not-found."""
+        self.on_reply(Message(src=-1, dst=-1, mtype=MSG_MCAST_REPLY,
+                              payload={**body, "found": False}))
 
     def _retry_or_fail(self, tid: ThreadId, block: EventBlock, state: dict,
                        on_result: PostResult) -> None:
@@ -257,13 +299,15 @@ class MulticastLocator(BaseLocator):
         node = int(message.dst)
         found = self._accept(node, body["tid"], body["block"])
         body["state"]["hops"] += 1  # the reply
-        self.cluster.fabric.send(Message(
+        payload = {"found": found, "tid": body["tid"],
+                   "block": body["block"], "state": body["state"],
+                   "pending": body["pending"],
+                   "on_result": body["on_result"]}
+        self._transmit(Message(
             src=node, dst=body["state"]["from_node"],
-            mtype=MSG_MCAST_REPLY, size=64,
-            payload={"found": found, "tid": body["tid"],
-                     "block": body["block"], "state": body["state"],
-                     "pending": body["pending"],
-                     "on_result": body["on_result"]}))
+            mtype=MSG_MCAST_REPLY, size=64, payload=payload),
+            lambda m, p=payload: self.on_reply(
+                Message(src=-1, dst=-1, mtype=MSG_MCAST_REPLY, payload=p)))
 
     def on_reply(self, message: Message) -> None:
         body = message.payload
@@ -323,10 +367,20 @@ class CachedLocator(BaseLocator):
             self._arrived(to_node, tid, block, state, on_result)
             return
         state["hops"] += 1
-        self.cluster.fabric.send(Message(
+
+        def hint_dead(message: Message) -> None:
+            # The hinted (or forwarded-to) node is unreachable — most
+            # likely crashed. The hint is worse than stale: drop it at
+            # the origin and let the base strategy find the thread or
+            # declare it dead (§7.2).
+            self.cluster.kernels[state["from_node"]] \
+                .location_hints.invalidate(tid)
+            self._fallback(tid, block, state, on_result)
+
+        self._transmit(Message(
             src=from_node, dst=to_node, mtype=MSG_CACHED_POST, size=128,
             payload={"tid": tid, "block": block, "state": state,
-                     "on_result": on_result}))
+                     "on_result": on_result}), hint_dead)
 
     def on_message(self, message: Message) -> None:
         body = message.payload

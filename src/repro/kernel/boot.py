@@ -82,6 +82,48 @@ class Cluster:
             node.kernel.dsm = self.dsm
 
     # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+
+    def transmit(self, message: Any, on_give_up: Any = None) -> None:
+        """Send through the source node's kernel (reliable when enabled).
+
+        Falls back to the raw fabric for sources that are not kernels
+        (e.g. external raisers using a pseudo node id).
+        """
+        kernel = self.kernels.get(message.src)
+        if kernel is not None:
+            kernel.transmit(message, on_give_up)
+        else:
+            self.fabric.send(message)
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
+
+    def crash_node(self, node: int) -> None:
+        """Fail-stop ``node`` (see :meth:`repro.kernel.node.Kernel.crash`)."""
+        kernel = self.kernels.get(node)
+        if kernel is None:
+            raise KernelError(f"no node {node} in this cluster")
+        kernel.crash()
+
+    def recover_node(self, node: int) -> None:
+        """Bring a crashed ``node`` back with empty volatile state."""
+        kernel = self.kernels.get(node)
+        if kernel is None:
+            raise KernelError(f"no node {node} in this cluster")
+        kernel.recover()
+
+    def reliability_stats(self) -> dict[str, int]:
+        """Cluster-wide sums of the per-node reliable-channel counters."""
+        totals: dict[str, int] = {}
+        for kernel in self.kernels.values():
+            for key, value in kernel.reliable.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    # ------------------------------------------------------------------
     # running virtual time
     # ------------------------------------------------------------------
 

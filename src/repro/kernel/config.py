@@ -104,6 +104,29 @@ class ClusterConfig:
     #: of, so "all of the objects get a chance to perform appropriate
     #: cleanup operations" (§6.3).
     notify_abort_on_unwind: bool = True
+    #: Route event posts, locator traffic, RPC and invocation messages
+    #: through each node's :class:`~repro.net.reliable.ReliableChannel`
+    #: (at-least-once with dedup). Off by default: the fault-free
+    #: experiments keep their fire-and-forget message counts.
+    reliable_delivery: bool = False
+    #: First retransmission timeout (virtual seconds).
+    retransmit_base: float = 4e-3
+    #: Backoff multiplier applied per retransmission.
+    retransmit_backoff: float = 2.0
+    #: Retransmission budget before a reliable send gives up.
+    max_retransmits: int = 10
+    #: Per-sender bound on remembered out-of-order sequence numbers.
+    dedup_window: int = 1024
+    #: Default timeout for RPC requests made without an explicit one
+    #: (None = wait forever, the seed behaviour).
+    rpc_default_timeout: float | None = None
+    #: Times an idempotent RPC request is re-issued after a timeout
+    #: before the caller sees RpcTimeout.
+    rpc_retries: int = 0
+    #: Backstop deadline (virtual seconds) for an asynchronous post: if
+    #: neither success nor failure has been reported by then, the raiser
+    #: gets an undeliverable notice (None = no backstop).
+    post_deadline: float | None = None
     trace_net: bool = True
     extra: dict = field(default_factory=dict)
 
@@ -130,8 +153,18 @@ class ClusterConfig:
                 f"unknown object_event_mode {self.object_event_mode!r}")
         for name in ("link_latency", "thread_create_cost", "surrogate_cost",
                      "context_switch_cost", "attach_cost", "locate_timeout",
-                     "locate_retry_delay"):
+                     "locate_retry_delay", "retransmit_base"):
             if getattr(self, name) < 0:
                 raise KernelError(f"{name} must be non-negative")
+        if self.retransmit_backoff < 1.0:
+            raise KernelError("retransmit_backoff must be >= 1")
+        if self.max_retransmits < 0 or self.rpc_retries < 0:
+            raise KernelError("max_retransmits and rpc_retries must be >= 0")
+        if self.dedup_window < 1:
+            raise KernelError("dedup_window must be >= 1")
+        for name in ("rpc_default_timeout", "post_deadline"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise KernelError(f"{name} must be positive or None")
         if self.page_size < 1 or self.dsm_fields_per_page < 1:
             raise KernelError("page_size and dsm_fields_per_page must be >= 1")

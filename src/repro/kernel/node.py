@@ -12,11 +12,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.errors import KernelError
+from repro.errors import KernelError, NodeCrashedError
 from repro.kernel.rpc import MSG_REPLY, MSG_REQUEST, RpcEngine
 from repro.kernel.tcb import LocationHintTable, ThreadTable
 from repro.kernel.timers import TimerService
 from repro.net.message import Message
+from repro.net.reliable import MSG_REL_ACK, ReliableChannel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.boot import Cluster
@@ -33,6 +34,14 @@ class Kernel:
         self.config = cluster.config
         self.tracer = cluster.tracer
         self.rpc = RpcEngine(cluster.sim, cluster.fabric, node_id)
+        self.rpc.kernel = self
+        self.reliable = ReliableChannel(
+            cluster.sim, cluster.fabric, node_id,
+            rto_base=cluster.config.retransmit_base,
+            backoff=cluster.config.retransmit_backoff,
+            max_retransmits=cluster.config.max_retransmits,
+            dedup_window=cluster.config.dedup_window)
+        self.crashed = False
         self.timers = TimerService(cluster.sim, node_id)
         self.thread_table = ThreadTable(node_id)
         self.location_hints = LocationHintTable(
@@ -46,6 +55,7 @@ class Kernel:
         self._dispatch: dict[str, Callable[[Message], None]] = {
             MSG_REQUEST: self.rpc.on_request,
             MSG_REPLY: self.rpc.on_reply,
+            MSG_REL_ACK: self.reliable.on_ack,
         }
         cluster.fabric.attach(node_id, self.deliver)
 
@@ -62,6 +72,9 @@ class Kernel:
 
     def deliver(self, message: Message) -> None:
         """Fabric delivery callback: dispatch by message type."""
+        if message.rel is not None and message.mtype != MSG_REL_ACK:
+            if not self.reliable.accept(message):
+                return  # duplicate of an already-dispatched message
         fn = self._dispatch.get(message.mtype)
         if fn is None:
             raise KernelError(
@@ -74,6 +87,74 @@ class Kernel:
         """Fire-and-forget message to another node."""
         self.fabric.send(Message(src=self.node_id, dst=dst, mtype=mtype,
                                  payload=payload, size=size))
+
+    def transmit(self, message: Message,
+                 on_give_up: Callable[[Message], None] | None = None) -> None:
+        """Send through the reliable channel when enabled.
+
+        With ``reliable_delivery`` off this is exactly ``fabric.send``
+        (the seed's fire-and-forget semantics, bit-identical traffic).
+        With it on, point-to-point remote messages are retransmitted
+        until acked; ``on_give_up`` fires if the budget runs out. A
+        crashed kernel sends nothing.
+        """
+        if self.crashed:
+            return
+        if self.config.reliable_delivery:
+            self.reliable.send(message, on_give_up)
+        else:
+            self.fabric.send(message)
+
+    # ------------------------------------------------------------------
+    # crash / recovery (crash-stop model; objects are persistent,
+    # threads and kernel tables are volatile — Clouds semantics)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop this node: drop off the fabric, lose volatile state.
+
+        Resident threads die; survivors' RPC calls targeting this node
+        fail fast; §7.2-style dead-target notices reach raisers whose
+        events were queued on the dead threads. Objects homed here keep
+        their state (Clouds objects are passive and persistent) and
+        become reachable again after :meth:`recover`.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.fabric.detach(self.node_id)
+        if self.tracer is not None:
+            self.tracer.emit("kernel", "crash", node=self.node_id)
+        # Kill every thread with a frame here (or rooted here while not
+        # yet executing anywhere). Copy: destruction mutates the dict.
+        victims = []
+        for thread in list(self.cluster.live_threads.values()):
+            if any(frame.node == self.node_id for frame in thread.frames):
+                victims.append(thread)
+            elif not thread.frames and thread.tid.root == self.node_id:
+                victims.append(thread)
+        error = NodeCrashedError(f"node {self.node_id} crashed")
+        for thread in victims:
+            self.cluster.invoker.destroy_thread_abrupt(thread, error)
+        # Volatile kernel state is gone.
+        self.thread_table.clear()
+        self.location_hints.clear()
+        self.timers.cancel_all()
+        self.reliable.reset()
+        self.rpc.fail_all(error)
+        # Survivors observe the crash (fail-fast for calls in flight).
+        for kernel in self.cluster.kernels.values():
+            if kernel is not self:
+                kernel.rpc.fail_calls_to(self.node_id, error)
+
+    def recover(self) -> None:
+        """Rejoin the fabric after a crash, with empty volatile state."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.fabric.attach(self.node_id, self.deliver)
+        if self.tracer is not None:
+            self.tracer.emit("kernel", "recover", node=self.node_id)
 
 
 class Node:

@@ -6,6 +6,14 @@ exchange on top of the fabric. ``request()`` returns a
 :class:`~repro.sim.primitives.SimFuture` resolved with the peer's answer;
 services are plain callables registered per service name and may answer
 immediately or asynchronously by returning a future themselves.
+
+Robustness: every call records its destination, so a node crash can fail
+the calls targeting it immediately (:meth:`RpcEngine.fail_calls_to`)
+instead of leaking parked futures. Calls without an explicit timeout
+inherit ``config.rpc_default_timeout``, and idempotent services can opt
+into ``retries`` — the same call id is re-issued after each timeout, so a
+late reply to any attempt resolves the one future and stragglers are
+ignored as duplicates.
 """
 
 from __future__ import annotations
@@ -48,20 +56,45 @@ class SizedReply:
         self.size = int(size)
 
 
+class _Call:
+    """Sender-side record of one outstanding request."""
+
+    __slots__ = ("fut", "dst", "service", "envelope", "timeout",
+                 "retries_left", "attempts")
+
+    def __init__(self, fut: SimFuture[Any], dst: int, service: str,
+                 envelope: Message, timeout: float | None,
+                 retries_left: int) -> None:
+        self.fut = fut
+        self.dst = dst
+        self.service = service
+        self.envelope = envelope
+        self.timeout = timeout
+        self.retries_left = retries_left
+        self.attempts = 1
+
+
 class RpcEngine:
     """Per-node request/reply endpoint.
 
     One engine lives in each kernel; all engines share the fabric. The
     engine owns the two message types above — the kernel routes them here.
+    The owning kernel assigns itself to :attr:`kernel` after construction
+    so requests can flow through its (possibly reliable) transmit path
+    and pick up config defaults.
     """
 
     def __init__(self, sim: Simulator, fabric: Fabric, node_id: int) -> None:
         self.sim = sim
         self.fabric = fabric
         self.node_id = node_id
+        self.kernel: Any = None  # set by Kernel.__init__
         self._services: dict[str, ServiceFn] = {}
-        self._outstanding: dict[int, SimFuture[Any]] = {}
+        self._outstanding: dict[int, _Call] = {}
         self._call_ids = itertools.count(1)
+        self.timeouts = 0
+        self.retries_sent = 0
+        self.failed_by_crash = 0
 
     def serve(self, service: str, fn: ServiceFn) -> None:
         """Register the handler for ``service`` on this node."""
@@ -70,29 +103,100 @@ class RpcEngine:
                            f"on node {self.node_id}")
         self._services[service] = fn
 
+    @property
+    def outstanding(self) -> int:
+        """Number of calls still awaiting a reply (leak diagnostics)."""
+        return len(self._outstanding)
+
     def request(self, dst: int, service: str, payload: Any = None,
-                size: int = 64, timeout: float | None = None) -> SimFuture[Any]:
+                size: int = 64, timeout: float | None = None,
+                retries: int | None = None) -> SimFuture[Any]:
         """Send a request; the returned future resolves with the reply.
 
         A service exception on the peer fails the future with that
         exception. ``timeout`` (virtual seconds) fails it with
         :class:`RpcTimeout` — used by locators to detect dead threads.
+        When omitted, ``config.rpc_default_timeout`` applies. ``retries``
+        re-issues the request that many times after timeouts before
+        failing; only safe for idempotent services. Defaults to
+        ``config.rpc_retries``.
         """
+        config = self.kernel.config if self.kernel is not None else None
+        if timeout is None and config is not None:
+            timeout = config.rpc_default_timeout
+        if retries is None:
+            retries = config.rpc_retries if config is not None else 0
         call_id = next(self._call_ids)
         fut: SimFuture[Any] = SimFuture(self.sim)
-        self._outstanding[call_id] = fut
-        self.fabric.send(Message(
+        envelope = Message(
             src=self.node_id, dst=dst, mtype=MSG_REQUEST, size=size,
             payload={"call_id": call_id, "service": service,
-                     "payload": payload, "reply_to": self.node_id}))
+                     "payload": payload, "reply_to": self.node_id})
+        # retries without a timeout would never fire
+        call = _Call(fut, dst, service, envelope, timeout,
+                     retries if timeout is not None else 0)
+        self._outstanding[call_id] = call
+        self._send(envelope)
         if timeout is not None:
-            def expire() -> None:
-                pending = self._outstanding.pop(call_id, None)
-                if pending is not None and not pending.done:
-                    pending.fail(RpcTimeout(
-                        f"{service} to node {dst} timed out after {timeout}s"))
-            self.sim.call_after(timeout, expire)
+            self.sim.call_after(timeout, self._expire, call_id, call.attempts)
         return fut
+
+    def _send(self, envelope: Message) -> None:
+        if self.kernel is not None:
+            self.kernel.transmit(envelope)
+        else:
+            self.fabric.send(envelope)
+
+    def _expire(self, call_id: int, attempt: int) -> None:
+        call = self._outstanding.get(call_id)
+        if call is None or call.attempts != attempt:
+            return  # answered, failed, or superseded by a newer attempt
+        if call.retries_left > 0:
+            call.retries_left -= 1
+            call.attempts += 1
+            self.retries_sent += 1
+            # Fresh envelope: a retry is a new wire message (new rel seq),
+            # but the same call_id, so any attempt's reply settles it.
+            retry = Message(src=call.envelope.src, dst=call.envelope.dst,
+                            mtype=call.envelope.mtype,
+                            payload=call.envelope.payload,
+                            size=call.envelope.size)
+            call.envelope = retry
+            self._send(retry)
+            self.sim.call_after(call.timeout, self._expire, call_id,
+                                call.attempts)
+            return
+        del self._outstanding[call_id]
+        self.timeouts += 1
+        if not call.fut.done:
+            call.fut.fail(RpcTimeout(
+                f"{call.service} to node {call.dst} timed out "
+                f"after {call.timeout}s"))
+
+    # ------------------------------------------------------------------
+    # crash handling
+    # ------------------------------------------------------------------
+
+    def fail_calls_to(self, dst: int, error: BaseException) -> int:
+        """Fail every outstanding call targeting ``dst`` (it crashed)."""
+        doomed = [cid for cid, call in self._outstanding.items()
+                  if call.dst == dst]
+        for cid in doomed:
+            call = self._outstanding.pop(cid)
+            self.failed_by_crash += 1
+            if not call.fut.done:
+                call.fut.fail(error)
+        return len(doomed)
+
+    def fail_all(self, error: BaseException) -> int:
+        """Fail every outstanding call (this node crashed)."""
+        doomed = list(self._outstanding.values())
+        self._outstanding.clear()
+        for call in doomed:
+            self.failed_by_crash += 1
+            if not call.fut.done:
+                call.fut.fail(error)
+        return len(doomed)
 
     # ------------------------------------------------------------------
     # message entry points (wired by the kernel's dispatch table)
@@ -128,18 +232,18 @@ class RpcEngine:
         if isinstance(result, SizedReply):
             size = result.size
             result = result.value
-        self.fabric.send(Message(
+        self._send(Message(
             src=self.node_id, dst=body["reply_to"], mtype=MSG_REPLY,
             size=size,
             payload={"call_id": body["call_id"], "result": result}))
 
     def on_reply(self, message: Message) -> None:
         body = message.payload
-        fut = self._outstanding.pop(body["call_id"], None)
-        if fut is None or fut.done:
+        call = self._outstanding.pop(body["call_id"], None)
+        if call is None or call.fut.done:
             return  # duplicate or post-timeout reply
         result = body["result"]
         if isinstance(result, _RemoteFailure):
-            fut.fail(result.error)
+            call.fut.fail(result.error)
         else:
-            fut.resolve(result)
+            call.fut.resolve(result)

@@ -101,6 +101,10 @@ class ThreadTable:
         """Remove all state for a (terminated) thread. True if present."""
         return self._tcbs.pop(tid, None) is not None
 
+    def clear(self) -> None:
+        """Forget every TCB (the node crashed; this state was volatile)."""
+        self._tcbs.clear()
+
     def _require(self, tid: object) -> Tcb:
         tcb = self._tcbs.get(tid)
         if tcb is None:
@@ -166,6 +170,10 @@ class LocationHintTable:
             self.invalidations += 1
             return True
         return False
+
+    def clear(self) -> None:
+        """Forget every hint (the node crashed; hints were volatile)."""
+        self._hints.clear()
 
     def stats(self) -> dict[str, int]:
         return {

@@ -57,6 +57,10 @@ class Fabric:
         self.stats = TrafficStats()
         self.multicast_groups = MulticastRegistry()
         self._endpoints: dict[int, DeliveryFn] = {}
+        #: every node id ever attached; a known-but-detached node is a
+        #: crashed machine and silently swallows traffic, while a node id
+        #: never seen is a programming error
+        self._known: set[int] = set()
         # per-fabric message ids keep traces deterministic across runs
         self._msg_ids = itertools.count(1)
 
@@ -69,6 +73,7 @@ class Fabric:
         if node_id in self._endpoints:
             raise NetworkError(f"node {node_id} already attached")
         self._endpoints[node_id] = deliver
+        self._known.add(node_id)
 
     def detach(self, node_id: int) -> None:
         self._endpoints.pop(node_id, None)
@@ -96,7 +101,7 @@ class Fabric:
             members = self.multicast_groups.members(group)
             self._fan_out(message, sorted(members), "multicast")
             return
-        if dst not in self._endpoints:
+        if dst not in self._endpoints and dst not in self._known:
             raise UnknownNodeError(f"no node {dst!r} attached to fabric")
         self._transmit(message, int(dst))
 
@@ -139,16 +144,40 @@ class Fabric:
         if self.tracer is not None:
             self.tracer.emit("net", "send", src=message.src, dst=dst,
                              mtype=message.mtype, msg_id=message.msg_id)
+        if dst not in self._endpoints:
+            # Known-but-detached destination: the node crashed. The wire
+            # swallows the message; reliable channels retransmit until
+            # the node recovers or the budget runs out.
+            self._drop(message, dst)
+            return
         copies = self.faults.copies(message)
         if copies == 0:
-            self.stats.record_drop()
-            if self.tracer is not None:
-                self.tracer.emit("net", "drop", src=message.src, dst=dst,
-                                 mtype=message.mtype, msg_id=message.msg_id)
+            self._drop(message, dst)
             return
-        for _ in range(copies):
-            delay = self.latency.delay(message.src, dst, message)
-            self.sim.call_after(delay, self._deliver, message, dst)
+        for i in range(copies):
+            # Each duplicated copy is a distinct envelope with its own
+            # msg_id and its own top-level payload dict: a receiver that
+            # mutates the payload must not corrupt the other copy. The
+            # reliability header is shared so dedup still collapses them.
+            copy = message if i == 0 else self._clone(message)
+            delay = self.latency.delay(copy.src, dst, copy)
+            self.sim.call_after(delay, self._deliver, copy, dst)
+
+    def _clone(self, message: Message) -> Message:
+        payload = message.payload
+        if isinstance(payload, dict):
+            payload = dict(payload)
+        clone = Message(src=message.src, dst=message.dst,
+                        mtype=message.mtype, payload=payload,
+                        size=message.size, rel=message.rel)
+        clone.msg_id = next(self._msg_ids)
+        return clone
+
+    def _drop(self, message: Message, dst: int) -> None:
+        self.stats.record_drop()
+        if self.tracer is not None:
+            self.tracer.emit("net", "drop", src=message.src, dst=dst,
+                             mtype=message.mtype, msg_id=message.msg_id)
 
     def _deliver(self, message: Message, dst: int) -> None:
         endpoint = self._endpoints.get(dst)

@@ -36,6 +36,12 @@ class Message:
     msg_id:
         Unique id assigned at construction, useful for request/reply
         correlation and trace matching.
+    rel:
+        Reliability header, or ``None`` for fire-and-forget traffic. Set
+        by :class:`~repro.net.reliable.ReliableChannel` to the
+        ``(sender node, link sequence number)`` pair that receivers ack
+        and deduplicate on. Retransmissions and fault-injected duplicates
+        carry the same header, so exactly one copy is dispatched.
     """
 
     src: int
@@ -44,6 +50,7 @@ class Message:
     payload: Any = None
     size: int = 64
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    rel: tuple[int, int] | None = None
 
     def reply_envelope(self, mtype: str, payload: Any = None,
                        size: int = 64) -> "Message":

@@ -1,0 +1,202 @@
+"""At-least-once transport on top of the lossy fabric.
+
+The fabric models a real datagram network: messages are dropped,
+duplicated, and black-holed by crashed nodes. Everything above it in the
+seed tree is fire-and-forget, so any ``drop_rate > 0`` silently loses
+events and hangs raisers — exactly the failure §7.2 of the paper wants
+surfaced as a bounded-time notification instead.
+
+:class:`ReliableChannel` closes that gap with the classic recipe:
+
+- each node stamps outbound point-to-point messages with a per-link
+  sequence number (the :attr:`~repro.net.message.Message.rel` header),
+- the receiver acks every stamped message (acks themselves are
+  fire-and-forget; a lost ack just costs one retransmission),
+- the sender retransmits on an exponential-backoff timer until acked or
+  until ``max_retransmits`` attempts are exhausted, at which point it
+  gives up and invokes the caller's ``on_give_up`` hook,
+- the receiver suppresses duplicates (retransmissions and fault-injected
+  copies alike) with a per-sender cumulative floor plus a bounded
+  out-of-order window.
+
+Combined with the per-thread event-block dedup window this yields
+exactly-once *handler execution* even though the wire is at-least-once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.fabric import Fabric
+from repro.net.message import Message
+from repro.sim.scheduler import Handle, Simulator
+
+MSG_REL_ACK = "rel.ack"
+
+GiveUpFn = Callable[[Message], None]
+
+
+class _Pending:
+    """Sender-side state for one unacked message."""
+
+    __slots__ = ("message", "dst", "attempts", "handle", "on_give_up")
+
+    def __init__(self, message: Message, dst: int,
+                 on_give_up: GiveUpFn | None) -> None:
+        self.message = message
+        self.dst = dst
+        self.attempts = 1
+        self.handle: Handle | None = None
+        self.on_give_up = on_give_up
+
+
+class ReliableChannel:
+    """Per-node reliable send/receive endpoint.
+
+    Parameters
+    ----------
+    sim, fabric, node_id:
+        The node's simulator, fabric, and identity.
+    rto_base:
+        First retransmission timeout (virtual seconds).
+    backoff:
+        Multiplier applied to the timeout after each retransmission.
+    max_retransmits:
+        Retransmission budget before :meth:`send` gives up and calls the
+        caller's ``on_give_up`` hook.
+    dedup_window:
+        Bound on remembered out-of-order sequence numbers per sender.
+    """
+
+    def __init__(self, sim: Simulator, fabric: Fabric, node_id: int, *,
+                 rto_base: float = 4e-3, backoff: float = 2.0,
+                 max_retransmits: int = 10, dedup_window: int = 1024) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.node_id = node_id
+        self.rto_base = float(rto_base)
+        self.backoff = float(backoff)
+        self.max_retransmits = int(max_retransmits)
+        self.dedup_window = int(dedup_window)
+        self._next_seq = 0
+        self._pending: dict[int, _Pending] = {}
+        # receiver side: per-sender cumulative floor (every seq <= floor
+        # already seen) plus the out-of-order seqs above it
+        self._floor: dict[int, int] = {}
+        self._seen: dict[int, set[int]] = {}
+        self.sends = 0
+        self.retransmits = 0
+        self.gave_up = 0
+        self.acks_sent = 0
+        self.duplicates_suppressed = 0
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+
+    def send(self, message: Message,
+             on_give_up: GiveUpFn | None = None) -> None:
+        """Send ``message``, retransmitting until acked or budget spent.
+
+        Broadcast/multicast destinations and node-local messages bypass
+        the reliability machinery (the local loopback never drops, and
+        group delivery has no single acker); they go straight to the
+        fabric.
+        """
+        dst = message.dst
+        if not isinstance(dst, int) or dst == self.node_id:
+            self.fabric.send(message)
+            return
+        self._next_seq += 1
+        seq = self._next_seq
+        message.rel = (self.node_id, seq)
+        pending = _Pending(message, dst, on_give_up)
+        self._pending[seq] = pending
+        self.sends += 1
+        self.fabric.send(message)
+        pending.handle = self.sim.call_after(
+            self.rto_base, self._retransmit, seq)
+
+    def _retransmit(self, seq: int) -> None:
+        pending = self._pending.get(seq)
+        if pending is None:
+            return
+        if pending.attempts > self.max_retransmits:
+            del self._pending[seq]
+            self.gave_up += 1
+            if pending.on_give_up is not None:
+                pending.on_give_up(pending.message)
+            return
+        pending.attempts += 1
+        self.retransmits += 1
+        # Re-send the same envelope object: the rel header is what the
+        # receiver deduplicates on, so reusing it is the whole point.
+        self.fabric.send(pending.message)
+        delay = self.rto_base * (self.backoff ** (pending.attempts - 1))
+        pending.handle = self.sim.call_after(delay, self._retransmit, seq)
+
+    def on_ack(self, message: Message) -> None:
+        """Kernel dispatch entry for :data:`MSG_REL_ACK`."""
+        seq = message.payload["seq"]
+        pending = self._pending.pop(seq, None)
+        if pending is not None and pending.handle is not None:
+            pending.handle.cancel()
+
+    # ------------------------------------------------------------------
+    # receiver side
+    # ------------------------------------------------------------------
+
+    def accept(self, message: Message) -> bool:
+        """Ack a rel-stamped arrival; return False if it is a duplicate.
+
+        Called by the kernel before dispatching any message carrying a
+        reliability header. Always acks (the earlier ack may have been
+        lost), then answers whether this copy should be dispatched.
+        """
+        sender, seq = message.rel  # type: ignore[misc]
+        self.acks_sent += 1
+        self.fabric.send(Message(
+            src=self.node_id, dst=sender, mtype=MSG_REL_ACK, size=32,
+            payload={"seq": seq}))
+        floor = self._floor.get(sender, 0)
+        if seq <= floor:
+            self.duplicates_suppressed += 1
+            return False
+        seen = self._seen.setdefault(sender, set())
+        if seq in seen:
+            self.duplicates_suppressed += 1
+            return False
+        seen.add(seq)
+        # advance the cumulative floor over any now-contiguous prefix
+        while floor + 1 in seen:
+            floor += 1
+            seen.discard(floor)
+        self._floor[sender] = floor
+        # bound memory: with a full window, forget the oldest seqs — at
+        # worst a very late duplicate gets re-dispatched, and the
+        # per-thread block dedup still suppresses re-execution
+        if len(seen) > self.dedup_window:
+            for stale in sorted(seen)[:len(seen) - self.dedup_window]:
+                seen.discard(stale)
+        return True
+
+    # ------------------------------------------------------------------
+    # lifecycle / reporting
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Discard all volatile state (the node crashed)."""
+        for pending in self._pending.values():
+            if pending.handle is not None:
+                pending.handle.cancel()
+        self._pending.clear()
+        self._floor.clear()
+        self._seen.clear()
+        # Sequence numbers keep counting up across the crash so the
+        # recovered node's fresh sends are not mistaken for duplicates.
+
+    def stats(self) -> dict[str, int]:
+        return {"sends": self.sends, "retransmits": self.retransmits,
+                "gave_up": self.gave_up, "acks_sent": self.acks_sent,
+                "duplicates_suppressed": self.duplicates_suppressed,
+                "pending": len(self._pending)}

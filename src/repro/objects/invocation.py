@@ -21,6 +21,7 @@ from repro.errors import (
     InvocationAborted,
     ObjectError,
     ThreadTerminated,
+    UndeliverableError,
     UnknownObjectError,
 )
 from repro.kernel.config import TRANSPORT_DSM
@@ -186,10 +187,23 @@ class InvocationEngine:
                             src=src, dst=dst, oid=obj.oid,
                             entry=syscall.entry)
         size = 256 + thread.attributes.nominal_size
-        cluster.fabric.send(Message(
+        self._ship(Message(
             src=src, dst=dst, mtype=MSG_INVOKE, size=size,
             payload={"thread": thread, "obj": obj, "syscall": syscall,
-                     "caller_node": src}))
+                     "caller_node": src}), thread)
+
+    def _ship(self, message: Message, thread: DThread) -> None:
+        """Send a thread-carrying control message (reliably when enabled).
+
+        If the reliable channel gives up — the peer crashed and never
+        recovered within the retransmission budget — the thread inside
+        the message is gone for good; destroy it so waiters get a
+        bounded-time failure instead of a hang.
+        """
+        self.cluster.transmit(message, on_give_up=lambda m: \
+            self.destroy_thread_abrupt(thread, UndeliverableError(
+                f"{message.mtype} for {thread.tid} undeliverable to "
+                f"node {message.dst}")))
 
     def _on_invoke(self, message: Message) -> None:
         body = message.payload
@@ -243,9 +257,10 @@ class InvocationEngine:
             thread.tid)
         if remaining is None:
             cluster.events.thread_left_for_good(thread, from_node)
-        cluster.fabric.send(Message(
+        self._ship(Message(
             src=from_node, dst=caller_node, mtype=MSG_REPLY, size=128,
-            payload={"thread": thread, "value": value, "error": error}))
+            payload={"thread": thread, "value": value, "error": error}),
+            thread)
 
     def _frames_remain(self, thread: DThread, node: int) -> bool:
         return any(f.node == node for f in thread.frames)
@@ -279,9 +294,10 @@ class InvocationEngine:
             if thread.tid in kernel.thread_table:
                 kernel.thread_table.frame_popped(thread.tid)
             cluster.events.thread_left_for_good(thread, last_node)
-            cluster.fabric.send(Message(
+            self._ship(Message(
                 src=last_node, dst=root, mtype=MSG_COMPLETE, size=128,
-                payload={"thread": thread, "value": value, "error": error}))
+                payload={"thread": thread, "value": value, "error": error}),
+                thread)
             return
         self._finalize(thread, value, error)
 
@@ -425,11 +441,11 @@ class InvocationEngine:
             if thread.tid in kernel.thread_table:
                 if kernel.thread_table.frame_popped(thread.tid) is None:
                     cluster.events.thread_left_for_good(thread, frame.node)
-            cluster.fabric.send(Message(
+            self._ship(Message(
                 src=frame.node, dst=frame.caller_node, mtype=MSG_UNWIND,
                 size=96, payload={"thread": thread, "reason": reason,
                                   "notified": notified,
-                                  "mode": "terminate", "depth": 0}))
+                                  "mode": "terminate", "depth": 0}), thread)
             return
         cluster.sim.call_soon(self._unwind_next, thread, reason, notified)
 
@@ -476,6 +492,38 @@ class InvocationEngine:
         self._abort_down_to(thread, depth, reason, notified=set())
         return True
 
+    def destroy_thread_abrupt(self, thread: DThread,
+                              error: BaseException) -> None:
+        """Kill a thread without unwinding (its node crashed).
+
+        Unlike :meth:`terminate_thread` there is no orderly frame-by-frame
+        unwind and no ABORT notifications: the machine holding the stack
+        is gone. Generators are closed locally (a simulation artefact —
+        Python would otherwise warn about un-collected frames), every
+        node's TCB entry for the thread is purged, and the completion
+        future fails with ``error`` so waiters learn the fate in bounded
+        time. Raisers with events queued on the thread get dead-target
+        notices via the usual ``thread_gone`` path.
+        """
+        if not thread.alive:
+            return
+        thread.cancel_wait()
+        thread.cancel_pending_steps()
+        thread.state = TERMINATING
+        for frame in reversed(thread.frames):
+            gen = frame.gen
+            if gen is not None:
+                try:
+                    gen.close()
+                except BaseException:  # noqa: BLE001 - cleanup crash moot
+                    pass
+        thread.frames.clear()
+        for kernel in self.cluster.kernels.values():
+            kernel.thread_table.purge(thread.tid)
+        self.cluster.tracer.emit("thread", "destroy", tid=str(thread.tid),
+                                 error=repr(error))
+        self._finalize(thread, None, error, state=TERMINATED)
+
     def _abort_down_to(self, thread: DThread, depth: int, reason: str,
                        notified: set[int]) -> None:
         cluster = self.cluster
@@ -500,11 +548,11 @@ class InvocationEngine:
             if thread.tid in kernel.thread_table:
                 if kernel.thread_table.frame_popped(thread.tid) is None:
                     cluster.events.thread_left_for_good(thread, frame.node)
-            cluster.fabric.send(Message(
+            self._ship(Message(
                 src=frame.node, dst=frame.caller_node, mtype=MSG_UNWIND,
                 size=96, payload={"thread": thread, "reason": reason,
                                   "notified": notified,
-                                  "mode": "abort", "depth": depth}))
+                                  "mode": "abort", "depth": depth}), thread)
             return
         cluster.sim.call_soon(self._abort_down_to, thread, depth, reason,
                               notified)

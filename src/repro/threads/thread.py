@@ -123,6 +123,13 @@ class DThread:
         self.armed_timers: dict[int, tuple[int, int]] = {}
         #: event currently being delivered to this thread (None otherwise)
         self.delivering_event: str | None = None
+        #: the block whose handler chain is running (surfaced as a
+        #: dead-target notice if the thread dies mid-delivery)
+        self.delivering_block: Any = None
+        #: block ids already accepted, bounded FIFO (suppresses network
+        #: duplicates so handlers run exactly once)
+        self._seen_blocks: set[int] = set()
+        self._seen_order: deque[int] = deque()
         #: exit info for diagnostics
         self.exit_reason: str | None = None
 
@@ -441,6 +448,22 @@ class DThread:
     # ------------------------------------------------------------------
     # event integration
     # ------------------------------------------------------------------
+
+    def accept_block(self, block_id: int, window: int = 256) -> bool:
+        """Record a block id; False if this thread already accepted it.
+
+        The channel layer deduplicates per-link, but a retried locate can
+        deliver the same block along a different path (e.g. a hint chase
+        and a broadcast fallback both landing). This per-thread window is
+        the last line of the exactly-once-execution guarantee.
+        """
+        if block_id in self._seen_blocks:
+            return False
+        self._seen_blocks.add(block_id)
+        self._seen_order.append(block_id)
+        while len(self._seen_order) > window:
+            self._seen_blocks.discard(self._seen_order.popleft())
+        return True
 
     def notice_arrived(self) -> None:
         """The event manager queued a notice; begin delivery if possible."""

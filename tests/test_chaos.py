@@ -1,0 +1,88 @@
+"""Chaos-harness tests: delivery guarantees across all four locators
+under seeded drops, duplicates, partitions and crash/recover cycles."""
+
+import pytest
+
+from repro.bench.chaos import ChaosSpec, run_chaos
+
+LOCATORS = ["path", "broadcast", "multicast", "cached"]
+
+
+@pytest.mark.parametrize("locator", LOCATORS)
+class TestChaosInvariants:
+    def test_drop_and_duplicate_sweep(self, locator):
+        """Exactly-once execution and zero lost-or-hung posts at every
+        swept fault rate, with crashes disabled (pure network chaos)."""
+        for drop, dup in [(0.05, 0.0), (0.1, 0.1), (0.2, 0.05)]:
+            spec = ChaosSpec(seed=5, locator=locator, posts=40,
+                             drop_rate=drop, duplicate_rate=dup,
+                             crash_period=None, settle=15.0)
+            report = run_chaos(spec)
+            assert not report.violations, report.violations[:3]
+            # no crashes -> retransmission recovers everything
+            assert report.success_rate == 1.0, \
+                (locator, drop, dup, sorted(report.notices))
+            assert report.accounted_rate == 1.0
+
+    def test_crashes_surface_dead_target_notices(self, locator):
+        """With periodic crash/recover, posts that lose their target get
+        a §7.2 notice — never silence, never a duplicate execution."""
+        spec = ChaosSpec(seed=9, locator=locator, posts=60, drop_rate=0.1,
+                         duplicate_rate=0.05, crash_period=0.6,
+                         down_time=0.4)
+        report = run_chaos(spec)
+        assert not report.violations, report.violations[:3]
+        assert report.crashes, "schedule must include crashes"
+        assert report.notices, "crash windows must produce notices"
+        assert report.accounted_rate == 1.0
+        # handlers never ran twice for any post
+        assert all(n <= 1 for n in report.executions.values())
+
+    def test_partitions_heal_and_converge(self, locator):
+        spec = ChaosSpec(seed=13, locator=locator, posts=40, drop_rate=0.05,
+                         duplicate_rate=0.0, crash_period=None,
+                         partition_period=0.3, partition_length=0.15)
+        report = run_chaos(spec)
+        assert not report.violations, report.violations[:3]
+        assert report.partitions, "schedule must include partitions"
+        # convergence: every post-heal probe executed exactly once
+        assert all(n == 1 for n in report.probe_executions.values())
+
+
+class TestDeterminism:
+    def test_same_seed_same_digest(self):
+        spec = ChaosSpec(seed=21, locator="cached", posts=50, drop_rate=0.1,
+                         duplicate_rate=0.1, partition_period=1.3)
+        first = run_chaos(spec)
+        second = run_chaos(spec)
+        assert first.digest == second.digest
+        assert first.executions == second.executions
+        assert first.notices == second.notices
+        assert first.reliability == second.reliability
+        assert first.message_stats == second.message_stats
+
+    def test_different_seed_different_outcome(self):
+        a = run_chaos(ChaosSpec(seed=1, posts=40, drop_rate=0.15))
+        b = run_chaos(ChaosSpec(seed=2, posts=40, drop_rate=0.15))
+        assert a.digest != b.digest
+
+
+class TestReportShape:
+    def test_report_metrics(self):
+        report = run_chaos(ChaosSpec(seed=4, posts=30, drop_rate=0.1,
+                                     duplicate_rate=0.1))
+        assert 0.0 <= report.success_rate <= 1.0
+        assert report.retransmits_per_post > 0
+        assert report.p99_latency > 0
+        assert report.reliability["duplicates_suppressed"] > 0
+        breakdown = report.fault_breakdown
+        assert breakdown["dropped"], "drops must be classified by type"
+        assert all(isinstance(k, str) for k in breakdown["dropped"])
+
+    def test_no_faults_is_clean(self):
+        report = run_chaos(ChaosSpec(seed=4, posts=30, drop_rate=0.0,
+                                     duplicate_rate=0.0, crash_period=None))
+        assert report.success_rate == 1.0
+        assert not report.notices
+        assert report.reliability["retransmits"] == 0
+        assert report.reliability["gave_up"] == 0

@@ -1,0 +1,237 @@
+"""Node crash/recovery: fail-stop semantics, §7.2 dead-target notices,
+RPC fail-fast, and rejoining the cluster with empty volatile state."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig, Decision, DistObject, entry
+from repro.errors import DeadThreadError, KernelError, NodeCrashedError
+from tests.conftest import Echo, Sleeper, make_cluster
+
+
+class Sink(DistObject):
+    """Thread body with a user-event handler, for locator-path tests."""
+
+    @entry
+    def absorb(self, ctx, seen, hold):
+        def on_ping(hctx, block):
+            seen.append(block.user_data)
+            yield hctx.compute(1e-6)
+            return Decision.RESUME
+
+        yield ctx.attach_handler("PING", on_ping)
+        yield ctx.sleep(hold)
+        return "done"
+
+
+def reliable_cluster(**overrides):
+    overrides.setdefault("reliable_delivery", True)
+    overrides.setdefault("post_deadline", 0.5)
+    return make_cluster(n_nodes=4, **overrides)
+
+
+class TestCrashSemantics:
+    def test_crash_kills_resident_threads(self):
+        cluster = make_cluster(n_nodes=4)
+        sleeper = cluster.create_object(Sleeper, node=2)
+        thread = cluster.spawn(sleeper, "hold", 1000.0, at=2)
+        cluster.run(until=0.5)
+        cluster.crash_node(2)
+        cluster.run(until=1.0)
+        assert thread.completion.failed
+        with pytest.raises(NodeCrashedError):
+            thread.completion.result()
+        assert thread.tid not in cluster.live_threads
+
+    def test_crash_kills_thread_visiting_the_node(self):
+        """A thread rooted elsewhere dies too if a frame is on the node."""
+        cluster = make_cluster(n_nodes=4)
+        far = cluster.create_object(Sleeper, node=3)
+        thread = cluster.spawn(far, "hold", 1000.0, at=0)
+        cluster.run(until=0.5)
+        assert thread.current_node == 3
+        cluster.crash_node(3)
+        cluster.run(until=1.0)
+        with pytest.raises(NodeCrashedError):
+            thread.completion.result()
+
+    def test_crash_is_idempotent_and_unknown_node_rejected(self):
+        cluster = make_cluster(n_nodes=2)
+        cluster.crash_node(1)
+        cluster.crash_node(1)  # no-op
+        cluster.recover_node(1)
+        cluster.recover_node(1)  # no-op
+        with pytest.raises(KernelError):
+            cluster.crash_node(7)
+        with pytest.raises(KernelError):
+            cluster.recover_node(7)
+
+    def test_crashed_node_black_holes_messages(self):
+        """Sends to a crashed node are silently dropped (fail-stop), not
+        errors — only never-existing nodes are unknown."""
+        cluster = make_cluster(n_nodes=3)
+        cluster.crash_node(2)
+        from repro.net.message import Message
+        cluster.fabric.send(Message(src=0, dst=2, mtype="x"))  # no raise
+        cluster.run()
+        from repro.errors import UnknownNodeError
+        with pytest.raises(UnknownNodeError):
+            cluster.fabric.send(Message(src=0, dst=9, mtype="x"))
+
+
+class TestRpcFailFast:
+    def test_outstanding_calls_fail_on_target_crash(self):
+        cluster = make_cluster(n_nodes=3)
+        fut = cluster.kernels[0].rpc.request(2, "anything")
+        cluster.crash_node(2)
+        assert fut.failed
+        with pytest.raises(NodeCrashedError):
+            fut.result()
+        assert cluster.kernels[0].rpc.failed_by_crash == 1
+        assert not cluster.kernels[0].rpc.outstanding
+
+    def test_crashing_caller_fails_its_own_calls(self):
+        cluster = make_cluster(n_nodes=3)
+        fut = cluster.kernels[1].rpc.request(2, "anything")
+        cluster.crash_node(1)
+        assert fut.failed
+        with pytest.raises(NodeCrashedError):
+            fut.result()
+
+    def test_default_timeout_and_retries_from_config(self):
+        cluster = make_cluster(n_nodes=2, rpc_default_timeout=0.1,
+                               rpc_retries=2, reliable_delivery=False)
+        from repro.errors import RpcTimeout
+        cluster.fabric.faults.partition({0}, {1})
+        fut = cluster.kernels[0].rpc.request(1, "ping")
+        cluster.run(until=2.0)
+        with pytest.raises(RpcTimeout):
+            fut.result()
+        assert cluster.kernels[0].rpc.retries_sent == 2
+
+    def test_retry_succeeds_after_heal(self):
+        cluster = make_cluster(n_nodes=2, rpc_default_timeout=0.2,
+                               rpc_retries=3)
+        cluster.kernels[1].rpc.serve("ping", lambda payload, msg: "pong")
+        plan = cluster.fabric.faults
+        plan.partition({0}, {1})
+        fut = cluster.kernels[0].rpc.request(1, "ping")
+        cluster.run(until=0.3)
+        assert not fut.done
+        plan.heal()
+        cluster.run(until=3.0)
+        assert fut.result() == "pong"
+
+
+class TestDeadTargetNotices:
+    def test_async_raise_to_crashed_node_is_noticed(self):
+        cluster = reliable_cluster()
+        cluster.register_event("PING")
+        seen, noticed = [], []
+        cluster.events.on_undeliverable = \
+            lambda block, target: noticed.append(block.event)
+        sink = cluster.create_object(Sink, node=2)
+        thread = cluster.spawn(sink, "absorb", seen, 1000.0, at=2)
+        cluster.run(until=0.5)
+        cluster.crash_node(2)
+        t0 = cluster.now
+        cluster.raise_event("PING", thread.tid, from_node=0, user_data=1)
+        cluster.run(until=t0 + cluster.config.post_deadline + 0.1)
+        assert "PING" in noticed
+        assert cluster.events.dead_targets >= 1
+        assert seen == []
+
+    def test_sync_raise_to_crashed_node_fails_bounded(self):
+        cluster = reliable_cluster()
+        cluster.register_event("PING")
+        seen = []
+        sink = cluster.create_object(Sink, node=3)
+        thread = cluster.spawn(sink, "absorb", seen, 1000.0, at=3)
+        cluster.run(until=0.5)
+        cluster.crash_node(3)
+        fut = cluster.raise_and_wait("PING", thread.tid, from_node=1)
+        cluster.run(until=cluster.now + 1.0)
+        assert fut.failed
+        with pytest.raises(DeadThreadError):
+            fut.result()
+
+    def test_cached_hint_at_crashed_node(self):
+        """A hot location hint pointing at a crashed node must not hang
+        the raiser: the channel gives up, the hint is invalidated, the
+        fallback runs and the raiser gets the §7.2 notice."""
+        cluster = reliable_cluster(locator="cached")
+        cluster.register_event("PING")
+        seen, noticed = [], []
+        cluster.events.on_undeliverable = \
+            lambda block, target: noticed.append(block.user_data)
+        sink = cluster.create_object(Sink, node=2)
+        thread = cluster.spawn(sink, "absorb", seen, 1000.0, at=2)
+        cluster.run(until=0.5)
+        # warm node 0's hint cache with a successful post
+        cluster.raise_event("PING", thread.tid, from_node=0, user_data="warm")
+        cluster.run(until=cluster.now + 0.5)
+        assert seen == ["warm"]
+        assert cluster.kernels[0].location_hints.peek(thread.tid) == 2
+        cluster.crash_node(2)
+        cluster.raise_event("PING", thread.tid, from_node=0, user_data="lost")
+        cluster.run()
+        assert "lost" in noticed
+        assert seen == ["warm"]
+        # the stale hint was invalidated on the failed direct send
+        assert cluster.kernels[0].location_hints.peek(thread.tid) is None
+
+    def test_pending_notices_drain_on_crash(self):
+        """Posts queued at a thread that dies with its node surface as
+        dead-target notices, not silence."""
+        cluster = reliable_cluster()
+        cluster.register_event("PING")
+        seen, noticed = [], []
+        cluster.events.on_undeliverable = \
+            lambda block, target: noticed.append(block.user_data)
+        sink = cluster.create_object(Sink, node=1)
+        thread = cluster.spawn(sink, "absorb", seen, 1000.0, at=1)
+        cluster.run(until=0.5)
+        for i in range(3):
+            cluster.raise_event("PING", thread.tid, from_node=0, user_data=i)
+        # crash before virtual time lets the posts deliver
+        cluster.crash_node(1)
+        cluster.run(until=cluster.now + 1.0)
+        assert seen == []
+        assert set(noticed) == {0, 1, 2}
+
+
+class TestRecovery:
+    def test_recovered_node_serves_again(self):
+        cluster = make_cluster(n_nodes=3)
+        echo = cluster.create_object(Echo, node=1)
+        cluster.crash_node(1)
+        cluster.run(until=0.1)
+        cluster.recover_node(1)
+        assert not cluster.kernels[1].crashed
+        thread = cluster.spawn(echo, "echo", "back", at=0)
+        cluster.run()
+        assert thread.completion.result() == "back"
+
+    def test_volatile_state_empty_after_recovery(self):
+        cluster = make_cluster(n_nodes=3, locator="cached")
+        sleeper = cluster.create_object(Sleeper, node=1)
+        thread = cluster.spawn(sleeper, "hold", 1000.0, at=1)
+        cluster.run(until=0.5)
+        kernel = cluster.kernels[1]
+        assert thread.tid in kernel.thread_table
+        cluster.crash_node(1)
+        cluster.recover_node(1)
+        assert thread.tid not in kernel.thread_table
+
+    def test_events_flow_after_crash_recover_cycle(self):
+        cluster = reliable_cluster()
+        cluster.register_event("PING")
+        seen = []
+        cluster.crash_node(2)
+        cluster.run(until=0.1)
+        cluster.recover_node(2)
+        sink = cluster.create_object(Sink, node=2)
+        thread = cluster.spawn(sink, "absorb", seen, 1000.0, at=2)
+        cluster.run(until=cluster.now + 0.5)
+        cluster.raise_event("PING", thread.tid, from_node=0, user_data="hi")
+        cluster.run(until=cluster.now + 0.5)
+        assert seen == ["hi"]

@@ -1,0 +1,182 @@
+"""Unit tests for the at-least-once reliable channel and the extended
+fault plan (selective heal, one-way partitions, per-type counters)."""
+
+import pytest
+
+from repro.net.fabric import Fabric
+from repro.net.faults import FaultPlan
+from repro.net.latency import FixedLatency
+from repro.net.message import Message
+from repro.net.reliable import MSG_REL_ACK, ReliableChannel
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Simulator
+
+
+def make_pair(plan=None, **channel_kw):
+    """Two nodes wired through a fabric, each with a reliable endpoint."""
+    sim = Simulator()
+    fabric = Fabric(sim, FixedLatency(1e-3), faults=plan or FaultPlan())
+    channels = {}
+    delivered = []
+
+    def endpoint(node):
+        def deliver(msg):
+            ch = channels[node]
+            if msg.mtype == MSG_REL_ACK:
+                ch.on_ack(msg)
+                return
+            if msg.rel is not None and not ch.accept(msg):
+                return
+            delivered.append((node, msg.payload))
+        return deliver
+
+    for node in (0, 1):
+        channels[node] = ReliableChannel(sim, fabric, node, **channel_kw)
+        fabric.attach(node, endpoint(node))
+    return sim, fabric, channels, delivered
+
+
+class TestReliableChannel:
+    def test_clean_link_single_delivery_and_ack(self):
+        sim, fabric, channels, delivered = make_pair()
+        channels[0].send(Message(src=0, dst=1, mtype="x", payload="hi"))
+        sim.run()
+        assert delivered == [(1, "hi")]
+        assert channels[0].stats()["retransmits"] == 0
+        assert channels[0].stats()["pending"] == 0
+        assert channels[1].stats()["acks_sent"] == 1
+
+    def test_retransmits_through_loss(self):
+        plan = FaultPlan(RngRegistry(3), drop_rate=0.5)
+        sim, fabric, channels, delivered = make_pair(plan)
+        for i in range(20):
+            channels[0].send(Message(src=0, dst=1, mtype="x", payload=i))
+        sim.run()
+        # every message eventually arrives exactly once, in spite of loss
+        assert sorted(p for _, p in delivered) == list(range(20))
+        assert channels[0].stats()["retransmits"] > 0
+        assert channels[0].stats()["pending"] == 0
+
+    def test_duplicates_suppressed(self):
+        plan = FaultPlan(RngRegistry(0), duplicate_rate=1.0)
+        sim, fabric, channels, delivered = make_pair(plan)
+        for i in range(5):
+            channels[0].send(Message(src=0, dst=1, mtype="x", payload=i))
+        sim.run()
+        assert sorted(p for _, p in delivered) == list(range(5))
+        assert channels[1].duplicates_suppressed > 0
+
+    def test_gives_up_after_budget(self):
+        plan = FaultPlan()
+        plan.partition({0}, {1})
+        sim, fabric, channels, delivered = make_pair(
+            plan, max_retransmits=3)
+        lost = []
+        channels[0].send(Message(src=0, dst=1, mtype="x", payload="gone"),
+                         on_give_up=lost.append)
+        sim.run()
+        assert delivered == []
+        assert len(lost) == 1 and lost[0].payload == "gone"
+        stats = channels[0].stats()
+        assert stats["gave_up"] == 1
+        assert stats["retransmits"] == 3
+        assert stats["pending"] == 0
+
+    def test_local_and_broadcast_bypass(self):
+        sim, fabric, channels, delivered = make_pair()
+        channels[0].send(Message(src=0, dst=0, mtype="x", payload="self"))
+        sim.run()
+        assert delivered == [(0, "self")]
+        # no rel header, no pending state, no acks
+        assert channels[0].stats()["sends"] == 0
+        assert channels[0].stats()["pending"] == 0
+
+    def test_reset_discards_pending_but_keeps_seq(self):
+        plan = FaultPlan()
+        plan.partition({0}, {1})
+        sim, fabric, channels, delivered = make_pair(plan)
+        channels[0].send(Message(src=0, dst=1, mtype="x", payload="old"))
+        seq_before = channels[0]._next_seq
+        channels[0].reset()
+        sim.run()
+        assert channels[0].stats()["pending"] == 0
+        plan.heal()
+        channels[0].send(Message(src=0, dst=1, mtype="x", payload="new"))
+        sim.run()
+        assert delivered == [(1, "new")]
+        assert channels[0]._next_seq > seq_before
+
+    def test_dedup_survives_very_late_duplicate(self):
+        sim, fabric, channels, delivered = make_pair(dedup_window=4)
+        first = Message(src=0, dst=1, mtype="x", payload="first")
+        channels[0].send(first)
+        sim.run()
+        # replay the first envelope long after its seq fell below the floor
+        for i in range(10):
+            channels[0].send(Message(src=0, dst=1, mtype="x", payload=i))
+        fabric.send(first)
+        sim.run()
+        payloads = [p for _, p in delivered]
+        assert payloads.count("first") == 1
+
+
+class TestDuplicateDeliveryAliasing:
+    def test_fault_duplicates_are_independent_envelopes(self):
+        """A fault-injected duplicate must be its own envelope: mutating
+        the first delivery's payload dict must not leak into the copy
+        (the rel header alone is shared, for dedup)."""
+        plan = FaultPlan(RngRegistry(0), duplicate_rate=1.0)
+        sim = Simulator()
+        fabric = Fabric(sim, FixedLatency(1e-3), faults=plan)
+        received = []
+
+        def deliver(msg):
+            received.append(msg)
+            msg.payload["count"] = msg.payload.get("count", 0) + 1
+
+        fabric.attach(0, lambda msg: None)
+        fabric.attach(1, deliver)
+        fabric.send(Message(src=0, dst=1, mtype="x", payload={"v": 7}))
+        sim.run()
+        assert len(received) == 2
+        first, second = received
+        assert first is not second
+        assert first.msg_id != second.msg_id
+        assert first.payload is not second.payload
+        # the receiver's mutation of copy #1 did not alias into copy #2
+        assert second.payload["count"] == 1
+        assert first.payload["v"] == second.payload["v"] == 7
+
+
+class TestFaultPlanExtensions:
+    def test_one_way_partition(self):
+        plan = FaultPlan()
+        plan.partition({0}, {1}, one_way=True)
+        assert plan.is_cut(0, 1)
+        assert not plan.is_cut(1, 0)
+
+    def test_selective_heal(self):
+        plan = FaultPlan()
+        plan.partition({0}, {1})
+        plan.partition({0}, {2})
+        plan.heal({0}, {1})
+        assert not plan.is_cut(0, 1) and not plan.is_cut(1, 0)
+        assert plan.is_cut(0, 2) and plan.is_cut(2, 0)
+        plan.heal()
+        assert not plan.is_cut(0, 2)
+
+    def test_heal_one_side_rejected(self):
+        plan = FaultPlan()
+        with pytest.raises(ValueError):
+            plan.heal({0})
+
+    def test_per_type_counters(self):
+        plan = FaultPlan()
+        plan.partition({0}, {1})
+        plan.copies(Message(src=0, dst=1, mtype="a.req"))
+        plan.copies(Message(src=0, dst=1, mtype="a.req"))
+        plan.copies(Message(src=0, dst=1, mtype="b.req"))
+        breakdown = plan.fault_breakdown()
+        assert breakdown["dropped"] == {"a.req": 2, "b.req": 1}
+        assert breakdown["duplicated"] == {}
+        assert plan.dropped == 3
