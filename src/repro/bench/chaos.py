@@ -57,6 +57,35 @@ class ChaosTarget(DistObject):
         return "done"
 
 
+class DurableChaosTarget(DistObject):
+    """Persistent object absorbing durable chaos posts.
+
+    The durable variant targets *objects*, not threads: objects survive
+    node crashes (§2), so a journaled post can be redelivered after
+    recovery instead of degrading to a §7.2 notice. The handler is
+    deliberately slow relative to the post interval so the master-thread
+    queue builds depth — crashes then catch posts *queued but not yet
+    executed*, the exact window PR 2 lost. It records its execution
+    first, mirroring :class:`ChaosTarget` (the receiver journals the
+    applied marker atomically with this first statement, making the
+    count exactly-once across redeliveries).
+
+    The handler is registered dynamically (not via ``@on_event``) so
+    chaos also exercises the persistent handler registry: a crash wipes
+    the registration and recovery must replay it before redelivered
+    posts arrive, or they would hit the OBJ_REJECT default.
+    """
+
+    def __init__(self, executions):
+        super().__init__()
+        self.executions = executions
+
+    def on_chaos(self, ctx, block):
+        pid = block.user_data
+        self.executions[pid] = self.executions.get(pid, 0) + 1
+        yield ctx.compute(5e-3)
+
+
 @dataclass
 class ChaosSpec:
     """One seeded chaos scenario."""
@@ -83,6 +112,12 @@ class ChaosSpec:
     post_deadline: float = 1.5
     max_retransmits: int = 10
     retransmit_base: float = 4e-3
+    #: durable mode: journal posts write-ahead, target persistent objects
+    #: instead of threads, and require zero lost posts (no notices)
+    durable: bool = False
+    checkpoint_interval: int | None = 64
+    outbox_flush_interval: float | None = 0.25
+    replay_cost: float = 2e-5
 
     @property
     def active_time(self) -> float:
@@ -109,6 +144,12 @@ class ChaosReport:
     undeliverable: int
     p99_latency: float
     virtual_time: float
+    #: cluster-wide store counters (all zeros for non-durable runs)
+    durability: dict[str, int] = field(default_factory=dict)
+    #: one row per recovery replay (node, at, replayed, recovery_time,
+    #: restored_objects, pending_redelivery) — the raw material for the
+    #: durability bench; derived from state already hashed by ``digest``
+    recoveries: list[dict[str, Any]] = field(default_factory=list)
     violations: list[str] = field(default_factory=list)
 
     @property
@@ -144,6 +185,7 @@ class ChaosReport:
             self.partitions,
             sorted(self.reliability.items()),
             sorted(self.message_stats.items()),
+            sorted(self.durability.items()),
             self.dead_targets,
             self.undeliverable,
             round(self.virtual_time, 9),
@@ -154,14 +196,22 @@ class ChaosReport:
 def _check_invariants(spec: ChaosSpec, executions: dict[int, int],
                       notices: set[int],
                       probe_executions: dict[int, int],
-                      n_probes: int) -> list[str]:
+                      n_probes: int,
+                      durability: dict[str, int] | None = None) -> list[str]:
     violations = []
     for pid in range(spec.posts):
         ran = executions.get(pid, 0)
         if ran > 1:
             violations.append(
                 f"post {pid}: handler executed {ran} times (duplicate run)")
-        if ran == 0 and pid not in notices:
+        if spec.durable:
+            # Durable posts to persistent objects have no notice escape
+            # hatch: every journaled post must execute, exactly once.
+            if ran != 1:
+                violations.append(
+                    f"post {pid}: durable post executed {ran} times "
+                    f"(journaled post lost)")
+        elif ran == 0 and pid not in notices:
             violations.append(
                 f"post {pid}: neither executed nor noticed (lost/hung)")
     for pid in range(n_probes):
@@ -170,6 +220,11 @@ def _check_invariants(spec: ChaosSpec, executions: dict[int, int],
             violations.append(
                 f"probe {pid}: executed {ran} times after heal "
                 f"(no convergence)")
+    if spec.durable and durability is not None:
+        if durability.get("pending", 0) != 0:
+            violations.append(
+                f"outbox not drained: {durability['pending']} journaled "
+                f"posts still pending at end of run")
     return violations
 
 
@@ -180,6 +235,10 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
         reliable_delivery=True, post_deadline=spec.post_deadline,
         max_retransmits=spec.max_retransmits,
         retransmit_base=spec.retransmit_base,
+        durable_delivery=spec.durable,
+        checkpoint_interval=spec.checkpoint_interval,
+        outbox_flush_interval=spec.outbox_flush_interval,
+        replay_cost=spec.replay_cost,
         rpc_default_timeout=0.5, trace_net=False))
     cluster.register_event(CHAOS_EVENT)
     sim, faults = cluster.sim, cluster.fabric.faults
@@ -198,14 +257,26 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
 
     cluster.events.on_undeliverable = on_undeliverable
 
-    # One target thread per non-raiser node, spawned on its home node so
-    # the thread never migrates (in-flight thread state is not what this
-    # harness stresses). Node 0 is the raiser's home and never crashes.
+    # One target per non-raiser node. Default mode: a long-lived thread,
+    # spawned on its home node so it never migrates (in-flight thread
+    # state is not what this harness stresses). Durable mode: a
+    # persistent object with a dynamically registered handler — threads
+    # die with their node, objects do not, and only objects can honour
+    # the zero-lost-posts guarantee. Node 0 raises and never crashes.
     target_nodes = list(range(1, spec.n_nodes))
-    caps = {node: cluster.create_object(ChaosTarget, node=node)
-            for node in target_nodes}
-    slots = {node: cluster.spawn(caps[node], "serve", executions, 1e9,
-                                 at=node) for node in target_nodes}
+    slots: dict[int, Any] = {}
+    if spec.durable:
+        caps = {node: cluster.create_object(DurableChaosTarget, executions,
+                                            node=node)
+                for node in target_nodes}
+        for node in target_nodes:
+            cluster.kernels[node].objects.register_object_handler(
+                caps[node].oid, CHAOS_EVENT, "on_chaos")
+    else:
+        caps = {node: cluster.create_object(ChaosTarget, node=node)
+                for node in target_nodes}
+        slots = {node: cluster.spawn(caps[node], "serve", executions, 1e9,
+                                     at=node) for node in target_nodes}
     cluster.run(until=0.1)  # fault-free setup: handlers attach
 
     # Everything below is precomputed from one seeded stream and then
@@ -218,8 +289,8 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
     post_targets = [rng.choice(target_nodes) for _ in range(spec.posts)]
 
     def fire_post(pid: int, node: int) -> None:
-        tid = slots[node].tid
-        cluster.events.raise_external(CHAOS_EVENT, tid, from_node=0,
+        target = caps[node] if spec.durable else slots[node].tid
+        cluster.events.raise_external(CHAOS_EVENT, target, from_node=0,
                                       user_data=pid)
 
     for pid, node in enumerate(post_targets):
@@ -236,9 +307,11 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
         cluster.recover_node(node)
         # The node's target thread died with it; give later posts a live
         # target again (the dead tid keeps taking posts until then and
-        # must produce notices, not hangs).
-        slots[node] = cluster.spawn(caps[node], "serve", executions, 1e9,
-                                    at=node)
+        # must produce notices, not hangs). Durable targets are objects:
+        # they persist through the crash and need no respawn.
+        if not spec.durable:
+            slots[node] = cluster.spawn(caps[node], "serve", executions,
+                                        1e9, at=node)
 
     if spec.crash_period is not None:
         t = spec.crash_period
@@ -263,20 +336,22 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
 
     cluster.run(until=t0 + spec.active_time + spec.settle)
 
-    # Convergence: heal everything, recover everyone, then every slot
+    # Convergence: heal everything, recover everyone, then every target
     # must take a probe post exactly once.
     faults.heal()
     for node in target_nodes:
         if cluster.kernels[node].crashed:
             cluster.recover_node(node)
-            slots[node] = cluster.spawn(caps[node], "serve", executions,
-                                        1e9, at=node)
+            if not spec.durable:
+                slots[node] = cluster.spawn(caps[node], "serve", executions,
+                                            1e9, at=node)
     cluster.run(until=cluster.now + 0.2)
 
-    # Probes flow through the same ChaosTarget handler, which writes into
+    # Probes flow through the same chaos handler, which writes into
     # ``executions`` keyed by the ("probe", i) tuples; split them out.
     for i, node in enumerate(target_nodes):
-        cluster.events.raise_external(CHAOS_EVENT, slots[node].tid,
+        target = caps[node] if spec.durable else slots[node].tid
+        cluster.events.raise_external(CHAOS_EVENT, target,
                                       from_node=0, user_data=("probe", i))
     cluster.run(until=cluster.now + spec.settle)
 
@@ -293,6 +368,12 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
     else:
         p99 = 0.0
 
+    durability = cluster.durability_stats()
+    recoveries = sorted(
+        (dict(row, node=kernel.node_id)
+         for kernel in cluster.kernels.values()
+         for row in kernel.store.recovery_log),
+        key=lambda row: (row["at"], row["node"]))
     report = ChaosReport(
         spec=spec, executions=executions, notices=notices,
         probe_executions=probe_executions, crashes=crashes,
@@ -301,9 +382,11 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
         message_stats=cluster.fabric.stats.snapshot(),
         dead_targets=cluster.events.dead_targets,
         undeliverable=cluster.events.undeliverable,
-        p99_latency=p99, virtual_time=cluster.now)
+        p99_latency=p99, virtual_time=cluster.now,
+        durability=durability, recoveries=recoveries)
     report.violations = _check_invariants(
-        spec, executions, notices, probe_executions, len(target_nodes))
+        spec, executions, notices, probe_executions, len(target_nodes),
+        durability)
     return report
 
 

@@ -90,6 +90,11 @@ class EventBlock:
     raised_at: float = 0.0
     delivered_at: float | None = None
     block_id: int = field(default_factory=lambda: next(_block_ids))
+    #: Outbox identity ``(origin_node, seq)`` when the post was journaled
+    #: under ``durable_delivery``; None for non-durable posts. Redelivered
+    #: blocks carry the original id so the receiver's applied-set dedup
+    #: and the origin's ack matching line up across crashes.
+    durable_id: tuple[int, int] | None = field(default=None, repr=False)
     #: Set by the delivery engine while a chain executes, so a handler can
     #: resume a synchronously-blocked raiser early via ctx.resume_raiser.
     _resume_token: Any = field(default=None, repr=False)

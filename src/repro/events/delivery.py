@@ -56,6 +56,7 @@ from repro.kernel.config import (
 from repro.net.message import Message
 from repro.net.stats import LatencyReservoir
 from repro.objects.capability import Capability
+from repro.store.outbox import NOTICED, OutboxEntry
 from repro.sim.primitives import SimFuture
 from repro.threads import syscalls as sc
 from repro.threads.attributes import TimerSpec
@@ -256,7 +257,15 @@ class EventManager:
     def _route(self, from_node: int, block: EventBlock, target: Any) -> int:
         """Start routing; returns the number of recipients targeted."""
         self.posts += 1
+        # Write-ahead journaling happens here — at the raise, before the
+        # first send — so kernel-internal notices (TARGET_DEAD, ABORT,
+        # timers) posted through the lower-level methods stay undurable.
+        durable = (self.cluster.config.durable_delivery
+                   and from_node in self.cluster.kernels)
+        store = self.cluster.kernels[from_node].store if durable else None
         if isinstance(target, Capability):
+            if store is not None:
+                store.journal_post(block, "object", target.home)
             self._post_object(from_node, block, target)
             return 1
         if isinstance(target, GroupId):
@@ -270,10 +279,14 @@ class EventManager:
                     synchronous=block.synchronous,
                     user_data=block.user_data, raised_at=block.raised_at)
                 member_block._resume_token = block.block_id
+                if store is not None:
+                    store.journal_post(member_block, "thread")
                 self._post_thread(from_node, tid, member_block)
             return len(members)
         # single thread
         block._resume_token = block.block_id
+        if store is not None:
+            store.journal_post(block, "thread")
         self._post_thread(from_node, block.target, block)
         return 1
 
@@ -318,6 +331,13 @@ class EventManager:
     def _dead_target(self, block: EventBlock, tid: Any) -> None:
         """§7.2: the sender of an event to a destroyed thread is notified."""
         self.dead_targets += 1
+        # Threads are volatile (unlike objects): a durable post to a dead
+        # thread resolves through this notice, never by redelivery — a
+        # respawned thread is a *different* thread.
+        if block.durable_id is not None:
+            origin = self.cluster.kernels.get(block.durable_id[0])
+            if origin is not None:
+                origin.store.resolve(block.durable_id, NOTICED)
         if self.on_undeliverable is not None:
             self.on_undeliverable(block, tid)
         if block.synchronous:
@@ -442,6 +462,12 @@ class EventManager:
         # Handling concluded: the block is no longer at risk of dying
         # with the thread.
         thread.delivering_block = None
+        if block.durable_id is not None:
+            # The chain ran to a decision: acknowledge to the origin's
+            # outbox from the executing node.
+            kernel = self.cluster.kernels.get(thread.current_node)
+            if kernel is not None:
+                kernel.store.post_executed(block.durable_id)
         # The synchronous raiser is resumed when handling concludes,
         # whatever the fate of the target thread.
         self._complete_sync(block, value, None,
@@ -566,6 +592,16 @@ class EventManager:
 
     def _object_post_failed(self, block: EventBlock, cap: Capability) -> None:
         """A reliable object post exhausted its retransmission budget."""
+        if block.durable_id is not None:
+            # Durable posts to persistent objects don't fail — they park
+            # in the origin's outbox and the flush timer / the target's
+            # recovery announcement redelivers them.
+            origin = self.cluster.kernels.get(block.durable_id[0])
+            if origin is not None:
+                self.cluster.tracer.emit("store", "park", event=block.event,
+                                         oid=cap.oid, node=origin.node_id)
+                origin.store.on_give_up(block.durable_id)
+                return
         self.undeliverable += 1
         if self.on_undeliverable is not None:
             self.on_undeliverable(block, cap)
@@ -577,6 +613,24 @@ class EventManager:
         body = message.payload
         self._handle_object_post(int(message.dst), body["block"],
                                  body["oid"])
+
+    def redeliver_entry(self, node: int, entry: "OutboxEntry") -> None:
+        """Re-dispatch a pending outbox entry from its origin ``node``.
+
+        Object posts are re-sent toward the object's home (objects are
+        persistent, so the post eventually lands). Thread posts cannot
+        be redelivered — the target thread died with whatever crash or
+        give-up stranded the entry, and a respawn is a different thread
+        — so they resolve through the §7.2 dead-target notice instead.
+        """
+        block = entry.block
+        self.cluster.tracer.emit("store", "redeliver", event=block.event,
+                                 kind=entry.kind, node=node,
+                                 entry=str(entry.entry_id))
+        if entry.kind == "object":
+            self._post_object(node, block, block.target)
+        else:
+            self._dead_target(block, block.target)
 
     def post_abort_notification(self, obj: "DistObject", thread: DThread,
                                 node: int) -> None:
@@ -590,16 +644,29 @@ class EventManager:
     def _handle_object_post(self, node: int, block: EventBlock,
                             oid: int) -> None:
         kernel = self.cluster.kernels[node]
+        if kernel.crashed:
+            return  # arrived in the delivery window of a crashing node
+        if (block.durable_id is not None
+                and not kernel.store.accept_post(block.durable_id)):
+            # Redelivered duplicate: already executed here (the applied
+            # set re-acked it) or already queued for execution.
+            return
         obj = kernel.objects.get(oid)
         self.cluster.tracer.emit("event", "deliver-object",
                                  event=block.event, oid=oid, node=node)
         if obj is None:
+            # The object is gone for good (destroyed): the post is
+            # definitively processed — ack so the origin stops retrying.
+            if block.durable_id is not None:
+                kernel.store.post_executed(block.durable_id)
             self._complete_sync(block, None, UnknownObjectError(
                 f"object {oid} no longer exists"), from_node=node)
             return
-        fn = obj.object_handler_fn(block.event)
+        fn = kernel.objects.object_handler_fn(obj, block.event)
         if fn is None:
             self._object_default(node, obj, block)
+            if block.durable_id is not None:
+                kernel.store.post_executed(block.durable_id)
             return
         done: SimFuture[Any] = SimFuture(self.cluster.sim)
         kernel.objects.run_object_handler(obj, fn, block, done)
@@ -616,6 +683,8 @@ class EventManager:
                 value = fut.result()
             if block.event == names.DELETE and error is None:
                 kernel.objects.destroy(oid)
+            if block.durable_id is not None:
+                kernel.store.post_executed(block.durable_id)
             self._complete_sync(block, value, error, from_node=node)
 
         done.add_done_callback(finished)
@@ -773,7 +842,8 @@ class EventManager:
         if event is None or thread.kind != KIND_USER:
             self.cluster.invoker.frame_failed(thread, exc)
             return
-        obj_handler = (frame.obj.object_handler_fn(event)
+        obj_handler = (self.cluster.kernels[frame.node].objects
+                       .object_handler_fn(frame.obj, event)
                        if frame.obj is not None else None)
         chain = thread.attributes.handlers_for(event)
         if obj_handler is None and not chain:

@@ -145,4 +145,59 @@ class HandlerChain:
         return clone
 
 
+class ObjectHandlerRegistry:
+    """Dynamic object-based handler registry for one node (§5.1).
+
+    Class-declared ``@on_event`` handlers are static: they exist for
+    every instance of the class, forever. This registry adds the runtime
+    counterpart — bind an event to one of an object's methods after the
+    object exists — and is the piece of §5's "handlers stay armed while
+    the object persists" that actually needs persistence: the mapping is
+    kernel state, so a node crash discards it. With
+    ``durable_delivery`` on, registrations are journaled through
+    :class:`repro.store.manager.NodeStore` and replayed on recovery;
+    without it they are lost with the node (the documented PR 2 gap).
+    """
+
+    def __init__(self) -> None:
+        self._handlers: dict[tuple[int, str], str] = {}
+
+    def __len__(self) -> int:
+        return len(self._handlers)
+
+    def register(self, oid: int, event: str, fn_name: str) -> None:
+        """Bind ``event`` on object ``oid`` to its method ``fn_name``."""
+        self._handlers[(oid, event)] = fn_name
+
+    def unregister(self, oid: int, event: str) -> bool:
+        return self._handlers.pop((oid, event), None) is not None
+
+    def lookup(self, oid: int, event: str) -> str | None:
+        """The dynamically bound handler method name, or None."""
+        return self._handlers.get((oid, event))
+
+    def events_for(self, oid: int) -> list[str]:
+        return sorted(e for (o, e) in self._handlers if o == oid)
+
+    def drop_object(self, oid: int) -> int:
+        """Remove every registration of a destroyed object."""
+        stale = [key for key in self._handlers if key[0] == oid]
+        for key in stale:
+            del self._handlers[key]
+        return len(stale)
+
+    def entries(self) -> tuple[tuple[int, str, str], ...]:
+        """Checkpoint form: sorted ``(oid, event, fn_name)`` triples."""
+        return tuple(sorted((oid, event, fn)
+                            for (oid, event), fn in self._handlers.items()))
+
+    def restore(self, entries: tuple[tuple[int, str, str], ...]) -> None:
+        """Reset to a checkpoint's registration set (recovery replay)."""
+        self._handlers = {(oid, event): fn for oid, event, fn in entries}
+
+    def clear(self) -> None:
+        """Volatile-state discard: the node crashed."""
+        self._handlers.clear()
+
+
 HandlerFn = Callable[..., Any]

@@ -29,6 +29,7 @@ from repro.sim.primitives import SimFuture
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import Simulator
 from repro.sim.trace import Tracer
+from repro.store.journal import ClusterStore
 from repro.threads.attributes import IoChannel, ThreadAttributes
 from repro.threads.groups import GroupRegistry
 from repro.threads.ids import GroupId, IdAllocator, ThreadId
@@ -68,6 +69,11 @@ class Cluster:
         self.object_directory: dict[int, Any] = {}
         #: per-cluster oid allocator (keeps runs bit-identical)
         self.oid_counter = itertools.count(1)
+        #: per-node write-ahead journals — the simulated durable medium.
+        #: Owned by the cluster (not the kernels) so Kernel.crash cannot
+        #: reach it; created before the nodes, which attach their
+        #: NodeStore to their journal at construction.
+        self.store = ClusterStore()
         self.nodes = [Node(self, i) for i in range(self.config.n_nodes)]
         self.kernels = {node.node_id: node.kernel for node in self.nodes}
         for node in self.nodes:
@@ -120,6 +126,22 @@ class Cluster:
         totals: dict[str, int] = {}
         for kernel in self.kernels.values():
             for key, value in kernel.reliable.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def node_recovered(self, node: int) -> None:
+        """A node finished recovery replay: surviving peers re-dispatch
+        every outbox entry addressed to it (anything queued there at the
+        crash died with the kernel's memory)."""
+        for kernel in self.kernels.values():
+            if kernel.node_id != node and not kernel.crashed:
+                kernel.store.flush_to(node)
+
+    def durability_stats(self) -> dict[str, int]:
+        """Cluster-wide sums of the per-node store counters."""
+        totals: dict[str, int] = {}
+        for kernel in self.kernels.values():
+            for key, value in kernel.store.stats().items():
                 totals[key] = totals.get(key, 0) + value
         return totals
 

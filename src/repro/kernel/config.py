@@ -127,10 +127,37 @@ class ClusterConfig:
     #: neither success nor failure has been reported by then, the raiser
     #: gets an undeliverable notice (None = no backstop).
     post_deadline: float | None = None
+    #: Journal every post in the origin node's write-ahead log before the
+    #: first send, hold it in the outbox until the handler side acks, and
+    #: replay the journal on recovery (:mod:`repro.store`). Implies
+    #: ``reliable_delivery`` (redelivery rides the reliable channel).
+    durable_delivery: bool = False
+    #: Journal appends between automatic checkpoints (snapshot + log
+    #: truncation); None = checkpoint only on explicit request.
+    checkpoint_interval: int | None = 64
+    #: Self-quenching outbox flush period (virtual seconds): parked
+    #: entries — reliable sends that gave up — are re-dispatched this
+    #: often until acked. None disables the timer (recovery
+    #: announcements still redeliver).
+    outbox_flush_interval: float | None = 0.25
+    #: Virtual seconds charged per journal record replayed at recovery;
+    #: redelivery and the recovery announcement wait this long.
+    replay_cost: float = 2e-5
     trace_net: bool = True
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if self.durable_delivery:
+            # Redelivery rides the reliable channel; durable without
+            # reliable would redeliver over fire-and-forget links.
+            self.reliable_delivery = True
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
+            raise KernelError("checkpoint_interval must be >= 1 or None")
+        if (self.outbox_flush_interval is not None
+                and self.outbox_flush_interval <= 0):
+            raise KernelError("outbox_flush_interval must be positive or None")
+        if self.replay_cost < 0:
+            raise KernelError("replay_cost must be non-negative")
         if self.n_nodes < 1:
             raise KernelError(f"cluster needs at least one node, got {self.n_nodes}")
         if self.locator not in LOCATOR_NAMES:

@@ -18,6 +18,7 @@ from repro.kernel.tcb import LocationHintTable, ThreadTable
 from repro.kernel.timers import TimerService
 from repro.net.message import Message
 from repro.net.reliable import MSG_REL_ACK, ReliableChannel
+from repro.store.manager import MSG_STORE_ACK, NodeStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.kernel.boot import Cluster
@@ -46,6 +47,9 @@ class Kernel:
         self.thread_table = ThreadTable(node_id)
         self.location_hints = LocationHintTable(
             node_id, capacity=cluster.config.location_hint_capacity)
+        # The journal lives in the *cluster* store: it is the simulated
+        # durable medium, so crash() must not be able to touch it.
+        self.store = NodeStore(self, cluster.store.journal(node_id))
         # Attached by the cluster builder:
         self.objects: Any = None   # repro.objects.manager.ObjectManager
         self.invoker: Any = None   # repro.objects.invocation.InvocationEngine
@@ -56,6 +60,7 @@ class Kernel:
             MSG_REQUEST: self.rpc.on_request,
             MSG_REPLY: self.rpc.on_reply,
             MSG_REL_ACK: self.reliable.on_ack,
+            MSG_STORE_ACK: self.store.on_store_ack,
         }
         cluster.fabric.attach(node_id, self.deliver)
 
@@ -136,11 +141,19 @@ class Kernel:
         error = NodeCrashedError(f"node {self.node_id} crashed")
         for thread in victims:
             self.cluster.invoker.destroy_thread_abrupt(thread, error)
+        # A dead node is no thread's location: leave every multicast
+        # group it still belongs to, or multicast locates keep offering
+        # it as a candidate after recovery.
+        groups = self.fabric.multicast_groups
+        for group in sorted(groups.groups_of(self.node_id)):
+            groups.leave(group, self.node_id)
         # Volatile kernel state is gone.
         self.thread_table.clear()
         self.location_hints.clear()
         self.timers.cancel_all()
         self.reliable.reset()
+        self.objects.on_crash()
+        self.store.on_crash()
         self.rpc.fail_all(error)
         # Survivors observe the crash (fail-fast for calls in flight).
         for kernel in self.cluster.kernels.values():
@@ -148,13 +161,25 @@ class Kernel:
                 kernel.rpc.fail_calls_to(self.node_id, error)
 
     def recover(self) -> None:
-        """Rejoin the fabric after a crash, with empty volatile state."""
+        """Rejoin the fabric after a crash.
+
+        Without durability the volatile state comes back empty (the PR 2
+        semantics). With ``durable_delivery`` the journal is replayed
+        first — outbox, applied set, handler registry, checkpointed
+        objects — and once the charged replay time has elapsed the store
+        re-dispatches pending posts and announces the recovery so peers
+        flush posts addressed here.
+        """
         if not self.crashed:
             return
+        replayed, replay_time = self.store.recover()
         self.crashed = False
         self.fabric.attach(self.node_id, self.deliver)
         if self.tracer is not None:
-            self.tracer.emit("kernel", "recover", node=self.node_id)
+            self.tracer.emit("kernel", "recover", node=self.node_id,
+                             replayed=replayed)
+        if self.config.durable_delivery:
+            self.store.schedule_redelivery(replay_time)
 
 
 class Node:

@@ -48,8 +48,14 @@ class MulticastRegistry:
         return frozenset(g for g, m in self._groups.items() if node_id in m)
 
     def dissolve(self, group: str) -> None:
-        """Delete a group entirely (e.g. when its thread dies)."""
-        self._groups.pop(group, None)
+        """Delete a group entirely (e.g. when its thread dies).
+
+        Each removed member counts as a leave, so ``joins - leaves``
+        always equals the number of live memberships.
+        """
+        members = self._groups.pop(group, None)
+        if members:
+            self.leaves += len(members)
 
     def require_members(self, group: str) -> frozenset[int]:
         members = self.members(group)

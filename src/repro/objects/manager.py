@@ -12,8 +12,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.errors import ObjectError, UnknownObjectError
+import inspect
+
+from repro.errors import NoSuchEntryError, ObjectError, UnknownObjectError
 from repro.events.block import EventBlock
+from repro.events.handlers import ObjectHandlerRegistry
 from repro.kernel.config import (
     OBJ_EVENTS_MASTER,
     TRANSPORT_DSM,
@@ -34,6 +37,9 @@ class ObjectManager:
         self.kernel = kernel
         self.node_id = kernel.node_id
         self._objects: dict[int, DistObject] = {}
+        #: dynamic object-based handler bindings (kernel state: volatile
+        #: on crash, journaled and replayed when durable_delivery is on)
+        self.handlers = ObjectHandlerRegistry()
         self._queue: Channel[Any] = Channel(kernel.sim)
         self._master: DThread | None = None
         #: counters reported by experiment E3
@@ -76,18 +82,85 @@ class ObjectManager:
                 f"node {self.node_id} hosts no object {oid}")
         return obj
 
+    def adopt(self, obj: DistObject) -> None:
+        """Reinstall a restored object (recovery replay of a checkpoint
+        snapshot after simulated media loss)."""
+        self._objects[obj.oid] = obj
+        self.kernel.cluster.object_directory[obj.oid] = obj
+        self.kernel.tracer.emit("object", "restore", oid=obj.oid,
+                                node=self.node_id)
+
     def destroy(self, oid: int) -> bool:
         """Remove an object from the node (the DELETE default action)."""
         obj = self._objects.pop(oid, None)
         if obj is None:
             return False
         self.kernel.cluster.object_directory.pop(oid, None)
+        self.handlers.drop_object(oid)
         self.kernel.tracer.emit("object", "destroy", oid=oid,
                                 node=self.node_id)
         return True
 
     def oids(self) -> list[int]:
         return sorted(self._objects)
+
+    # ------------------------------------------------------------------
+    # dynamic object-based handler registry (§5.1, persistent via store)
+    # ------------------------------------------------------------------
+
+    def register_object_handler(self, oid: int, event: str,
+                                fn_name: str) -> None:
+        """Bind ``event`` on the hosted object ``oid`` to its generator
+        method ``fn_name``; journaled when durable_delivery is on."""
+        obj = self.require(oid)
+        fn = getattr(obj, fn_name, None)
+        if fn is None or not inspect.isgeneratorfunction(fn):
+            raise NoSuchEntryError(
+                f"{type(obj).__name__} (oid {oid}) has no generator "
+                f"method {fn_name!r} to register for {event!r}")
+        self.kernel.cluster.names.require_event(event)
+        self.handlers.register(oid, event, fn_name)
+        if self.kernel.config.durable_delivery:
+            self.kernel.store.journal_registration(oid, event, fn_name)
+        self.kernel.tracer.emit("event", "register-object-handler",
+                                oid=oid, event=event, node=self.node_id)
+
+    def unregister_object_handler(self, oid: int, event: str) -> bool:
+        removed = self.handlers.unregister(oid, event)
+        if removed and self.kernel.config.durable_delivery:
+            self.kernel.store.journal_unregistration(oid, event)
+        return removed
+
+    def object_handler_fn(self, obj: DistObject, event: str):
+        """The object's handler for ``event``: a dynamic registration
+        wins over the class-declared ``@on_event`` one."""
+        name = self.handlers.lookup(obj.oid, event)
+        if name is not None:
+            return getattr(obj, name)
+        return obj.object_handler_fn(event)
+
+    # ------------------------------------------------------------------
+    # crash (volatile-state discard; objects themselves persist)
+    # ------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Discard kernel-side volatile state at a node crash.
+
+        The hosted objects persist (§2), but the event queue and the
+        dynamic handler registry are kernel memory. Durable posts lost
+        from the queue here are exactly what the origin's outbox
+        redelivers on recovery; the registry is replayed from the
+        journal when durable_delivery is on.
+        """
+        # reset (not drain): the dead master's pending recv future must
+        # not swallow the first post enqueued after recovery
+        dropped = self._queue.reset()
+        for work in dropped:
+            block = work[2]
+            self.kernel.tracer.emit("event", "queue-lost",
+                                    event=block.event, node=self.node_id)
+        self._master = None
+        self.handlers.clear()
 
     # ------------------------------------------------------------------
     # object-based event execution (§4.3, §7)
@@ -148,6 +221,11 @@ class ObjectManager:
         previous_block, activation.event_block = activation.event_block, block
         block.delivered_at = ctx.now
         self.events_served += 1
+        if block.durable_id is not None:
+            # Atomic with the handler's first segment (no yield between
+            # here and fn's first statement): a crash earlier redelivers,
+            # a crash later suppresses — exactly-once either way.
+            self.kernel.store.mark_applied(block.durable_id)
         self.kernel.tracer.emit("event", "object-handler", oid=obj.oid,
                                 event=block.event, node=self.node_id)
         try:

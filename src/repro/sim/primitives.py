@@ -207,3 +207,14 @@ class Channel(Generic[T]):
         items = list(self._items)
         self._items.clear()
         return items
+
+    def reset(self) -> list[T]:
+        """Drain all items AND forget all waiting getters.
+
+        For consumer death (e.g. a node crash killing the thread parked
+        in ``get()``): a dead consumer's future must not swallow the
+        next ``put()``, which would silently lose the item.
+        """
+        items = self.drain()
+        self._getters.clear()
+        return items

@@ -1,0 +1,60 @@
+"""Durable persistence subsystem: write-ahead event journal, outbox
+redelivery, and checkpointed recovery.
+
+The paper's objects are passive and *persistent* (§2) and object-based
+handlers stay armed "while the object persists" (§5.1). This package
+makes that real for the reproduction: a per-node append-only journal
+(the simulated durable medium that survives ``Kernel.crash``), a
+transactional outbox that re-dispatches unacknowledged posts through the
+reliable channel on recovery, and a checkpoint/truncation protocol that
+bounds replay length. Opt in with ``ClusterConfig(durable_delivery=True)``.
+"""
+
+from repro.store.checkpoint import (
+    CheckpointManager,
+    restore_object,
+    snapshot_object,
+)
+from repro.store.journal import (
+    ClusterStore,
+    JournalRecord,
+    NodeJournal,
+    REC_ACK,
+    REC_APPLIED,
+    REC_CHECKPOINT,
+    REC_POST,
+    REC_REG,
+    REC_UNREG,
+)
+from repro.store.manager import MSG_STORE_ACK, NodeStore
+from repro.store.outbox import (
+    DELIVERED,
+    IN_FLIGHT,
+    NOTICED,
+    PARKED,
+    Outbox,
+    OutboxEntry,
+)
+
+__all__ = [
+    "CheckpointManager",
+    "ClusterStore",
+    "DELIVERED",
+    "IN_FLIGHT",
+    "JournalRecord",
+    "MSG_STORE_ACK",
+    "NodeJournal",
+    "NodeStore",
+    "NOTICED",
+    "Outbox",
+    "OutboxEntry",
+    "PARKED",
+    "REC_ACK",
+    "REC_APPLIED",
+    "REC_CHECKPOINT",
+    "REC_POST",
+    "REC_REG",
+    "REC_UNREG",
+    "restore_object",
+    "snapshot_object",
+]

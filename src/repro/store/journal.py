@@ -1,0 +1,186 @@
+"""Per-node append-only write-ahead journals (the durable medium).
+
+The paper's objects are *passive and persistent* (§2) and object-based
+handlers stay armed "while the object persists" (§5) — but everything a
+kernel holds in memory is volatile and dies with the node. This module
+provides the simulated durable medium underneath the
+:mod:`repro.store` subsystem: one append-only journal per node, owned by
+the cluster-level :class:`ClusterStore` so that
+:meth:`repro.kernel.node.Kernel.crash` cannot touch it. Recovery replays
+the journal to rebuild the node's durable state (outbox, applied-post
+dedup set, object-handler registry, object snapshots).
+
+Record types
+------------
+``post``
+    An event post journaled at its origin before the first send (the
+    write-ahead rule); stays pending until an ``ack`` resolves it.
+``ack``
+    Origin-side resolution of a ``post``: the handler side acknowledged
+    execution (``status="delivered"``) or the raiser got the §7.2 notice
+    (``status="noticed"``).
+``applied``
+    Receiver-side execution marker, journaled atomically with the start
+    of the handler run so redelivered duplicates are suppressed.
+``reg`` / ``unreg``
+    Object-based handler (de)registration in the persistent registry.
+``checkpoint``
+    A state snapshot (outbox, applied set, registry, object states);
+    everything before it is truncated, bounding replay length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import KernelError
+
+REC_POST = "post"
+REC_ACK = "ack"
+REC_APPLIED = "applied"
+REC_REG = "reg"
+REC_UNREG = "unreg"
+REC_CHECKPOINT = "checkpoint"
+
+#: Simulated on-medium record sizes in bytes (fixed per type so byte
+#: accounting is deterministic without serialising simulation objects).
+RECORD_SIZES = {
+    REC_POST: 160,
+    REC_ACK: 48,
+    REC_APPLIED: 48,
+    REC_REG: 64,
+    REC_UNREG: 48,
+    REC_CHECKPOINT: 512,
+}
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One appended record: a log sequence number, a type, and data."""
+
+    lsn: int
+    rtype: str
+    data: dict[str, Any] = field(default_factory=dict)
+    size: int = 0
+
+
+class NodeJournal:
+    """Append-only write-ahead log for one node.
+
+    Appends are totally ordered by LSN. The journal survives
+    :meth:`Kernel.crash` by construction (it lives in the cluster-level
+    store, not in kernel memory); truncation is only ever performed by
+    the checkpoint protocol, which first writes a ``checkpoint`` record
+    covering the dropped prefix.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._records: list[JournalRecord] = []
+        self._next_lsn = 1
+        #: LSN of the newest ``checkpoint`` record, or None.
+        self._checkpoint_lsn: int | None = None
+        self.appends = 0
+        self.bytes_appended = 0
+        self.truncations = 0
+        self.records_truncated = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[JournalRecord]:
+        return iter(self._records)
+
+    def append(self, rtype: str, **data: Any) -> JournalRecord:
+        """Durably append one record; returns it with its LSN assigned."""
+        if rtype not in RECORD_SIZES:
+            raise KernelError(f"unknown journal record type {rtype!r}")
+        record = JournalRecord(lsn=self._next_lsn, rtype=rtype, data=data,
+                               size=RECORD_SIZES[rtype])
+        self._next_lsn += 1
+        self._records.append(record)
+        self.appends += 1
+        self.bytes_appended += record.size
+        if rtype == REC_CHECKPOINT:
+            self._checkpoint_lsn = record.lsn
+        return record
+
+    # ------------------------------------------------------------------
+    # recovery scan
+    # ------------------------------------------------------------------
+
+    def latest_checkpoint(self) -> JournalRecord | None:
+        """The newest ``checkpoint`` record still in the log, or None."""
+        if self._checkpoint_lsn is None:
+            return None
+        for record in reversed(self._records):
+            if record.lsn == self._checkpoint_lsn:
+                return record
+        return None  # pragma: no cover - checkpoint is never truncated away
+
+    def tail(self) -> list[JournalRecord]:
+        """Records after the newest checkpoint (the replay suffix)."""
+        if self._checkpoint_lsn is None:
+            return list(self._records)
+        return [r for r in self._records if r.lsn > self._checkpoint_lsn]
+
+    def replay(self) -> tuple[dict[str, Any] | None, list[JournalRecord]]:
+        """(latest checkpoint state or None, records to replay after it)."""
+        checkpoint = self.latest_checkpoint()
+        state = checkpoint.data["state"] if checkpoint is not None else None
+        return state, self.tail()
+
+    # ------------------------------------------------------------------
+    # truncation (checkpoint protocol only)
+    # ------------------------------------------------------------------
+
+    def truncate_before(self, lsn: int) -> int:
+        """Drop every record with ``lsn`` strictly below the given one.
+
+        Returns how many records were dropped. Called by the checkpoint
+        manager right after it appended the covering checkpoint record.
+        """
+        keep = [r for r in self._records if r.lsn >= lsn]
+        dropped = len(self._records) - len(keep)
+        if dropped:
+            self._records = keep
+            self.truncations += 1
+            self.records_truncated += dropped
+        return dropped
+
+    def stats(self) -> dict[str, int]:
+        return {"appends": self.appends,
+                "bytes_appended": self.bytes_appended,
+                "retained": len(self._records),
+                "truncations": self.truncations,
+                "records_truncated": self.records_truncated}
+
+
+class ClusterStore:
+    """The cluster's durable media: one :class:`NodeJournal` per node.
+
+    Owned by the :class:`~repro.kernel.boot.Cluster`, never by a kernel,
+    so a node crash cannot lose it — exactly like a disk that survives
+    the machine rebooting.
+    """
+
+    def __init__(self) -> None:
+        self._journals: dict[int, NodeJournal] = {}
+
+    def journal(self, node_id: int) -> NodeJournal:
+        journal = self._journals.get(node_id)
+        if journal is None:
+            journal = self._journals[node_id] = NodeJournal(node_id)
+        return journal
+
+    def journals(self) -> dict[int, NodeJournal]:
+        return dict(self._journals)
+
+    def stats(self) -> dict[str, int]:
+        """Cluster-wide sums of the per-journal counters."""
+        totals: dict[str, int] = {}
+        for journal in self._journals.values():
+            for key, value in journal.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

@@ -1,0 +1,311 @@
+"""Per-node durability manager: the store subsystem's kernel-facing API.
+
+One :class:`NodeStore` per kernel wires the write-ahead journal, the
+outbox and the checkpoint protocol into the delivery path:
+
+* **origin side** — posts are journaled before the first send
+  (:meth:`journal_post`); a ``store.ack`` from the executing node or a
+  §7.2 notice resolves them; give-ups park them for the self-quenching
+  flush timer; a node recovery re-dispatches everything still pending.
+* **receiver side** — durable posts are deduplicated against the
+  journaled ``applied`` set (:meth:`accept_post`), marked applied
+  atomically with the start of the handler run (:meth:`mark_applied`),
+  and acknowledged to the origin after the handler completes.
+* **recovery** — :meth:`recover` loads the newest checkpoint, replays
+  the journal tail (outbox, applied set, object-handler registry,
+  missing objects), and reports the replay length so the kernel can
+  charge recovery time before re-dispatching.
+
+Everything is inert while ``config.durable_delivery`` is off: no journal
+appends, no timers, no extra messages — the fault-free experiments keep
+their exact message counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any
+
+from repro.net.message import Message
+from repro.store.checkpoint import (
+    CheckpointManager,
+    restore_object,
+    snapshot_object,
+)
+from repro.store.journal import (
+    NodeJournal,
+    REC_ACK,
+    REC_APPLIED,
+    REC_POST,
+    REC_REG,
+    REC_UNREG,
+)
+from repro.store.outbox import DELIVERED, NOTICED, Outbox, OutboxEntry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.events.block import EventBlock
+    from repro.kernel.node import Kernel
+
+MSG_STORE_ACK = "store.ack"
+
+
+class NodeStore:
+    """Durability services for one node (see module docstring)."""
+
+    def __init__(self, kernel: "Kernel", journal: NodeJournal) -> None:
+        self.kernel = kernel
+        self.sim = kernel.sim
+        self.journal = journal
+        self.outbox = Outbox(journal)
+        self.checkpoints = CheckpointManager(
+            journal, kernel.config.checkpoint_interval)
+        #: receiver-side dedup: durable posts already executed here
+        #: (journaled; this set is the in-memory cache of those records)
+        self.applied: set[tuple[int, int]] = set()
+        #: receiver-side, volatile: durable posts sitting in the object
+        #: event queue right now (suppresses concurrent duplicates)
+        self._enqueued: set[tuple[int, int]] = set()
+        self._flush_timer: int | None = None
+        #: one row per recovery replay, reported by bench_durability
+        self.recovery_log: list[dict[str, Any]] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.kernel.config.durable_delivery
+
+    # ==================================================================
+    # origin side (outbox)
+    # ==================================================================
+
+    def journal_post(self, block: "EventBlock", kind: str,
+                     dst: int | None = None) -> OutboxEntry:
+        """Write-ahead: journal the post before its first send."""
+        entry = self.outbox.record(block, kind, dst, self.sim.now)
+        block.durable_id = entry.entry_id
+        self._after_append()
+        return entry
+
+    def resolve(self, entry_id: tuple[int, int], status: str) -> bool:
+        """Handler-side ack (``delivered``) or §7.2 notice (``noticed``)."""
+        if self.outbox.resolve(entry_id, status):
+            self._after_append()
+            return True
+        return False
+
+    def on_give_up(self, entry_id: tuple[int, int]) -> None:
+        """The reliable channel exhausted its budget: park for redelivery."""
+        if self.outbox.park(entry_id):
+            self._arm_flush()
+
+    def on_store_ack(self, message: Message) -> None:
+        """Kernel dispatch entry for :data:`MSG_STORE_ACK`."""
+        self.resolve(message.payload["entry_id"], DELIVERED)
+
+    # ==================================================================
+    # receiver side (applied-set dedup + acknowledgement)
+    # ==================================================================
+
+    def accept_post(self, entry_id: tuple[int, int]) -> bool:
+        """Should an arriving durable post be executed here?
+
+        False for duplicates: already executed (re-ack, in case the
+        first ack was lost) or currently queued for execution.
+        """
+        if entry_id in self.applied:
+            self._send_ack(entry_id)
+            return False
+        if entry_id in self._enqueued:
+            return False
+        self._enqueued.add(entry_id)
+        return True
+
+    def mark_applied(self, entry_id: tuple[int, int]) -> None:
+        """Journal the execution marker.
+
+        Must be called atomically with the start of the handler run (no
+        yield between them): a crash before it means redelivery re-runs
+        the handler, a crash after it means redelivery is suppressed —
+        either way the run counts exactly once.
+        """
+        if entry_id in self.applied:
+            return
+        self.applied.add(entry_id)
+        self._enqueued.discard(entry_id)
+        self.journal.append(REC_APPLIED, entry_id=entry_id)
+        self._after_append()
+
+    def post_executed(self, entry_id: tuple[int, int]) -> None:
+        """The handler run completed: acknowledge to the origin."""
+        self._enqueued.discard(entry_id)
+        self._send_ack(entry_id)
+
+    def _send_ack(self, entry_id: tuple[int, int]) -> None:
+        origin = entry_id[0]
+        if origin == self.kernel.node_id:
+            self.resolve(entry_id, DELIVERED)
+            return
+        self.kernel.transmit(Message(
+            src=self.kernel.node_id, dst=origin, mtype=MSG_STORE_ACK,
+            size=48, payload={"entry_id": entry_id}))
+        # A lost ack is self-healing: the origin redelivers, the applied
+        # set suppresses re-execution, and the duplicate is re-acked.
+
+    # ==================================================================
+    # persistent object-handler registry (journal hooks)
+    # ==================================================================
+
+    def journal_registration(self, oid: int, event: str,
+                             fn_name: str) -> None:
+        self.journal.append(REC_REG, oid=oid, event=event, fn_name=fn_name)
+        self._after_append()
+
+    def journal_unregistration(self, oid: int, event: str) -> None:
+        self.journal.append(REC_UNREG, oid=oid, event=event)
+        self._after_append()
+
+    # ==================================================================
+    # checkpointing
+    # ==================================================================
+
+    def _after_append(self) -> None:
+        if self.enabled and self.checkpoints.note_append():
+            self.checkpoint()
+
+    def checkpoint(self) -> int:
+        """Snapshot durable state, journal it, truncate the prefix."""
+        dropped = self.checkpoints.take(self._collect_state())
+        self.kernel.tracer.emit("store", "checkpoint",
+                                node=self.kernel.node_id, dropped=dropped)
+        return dropped
+
+    def _collect_state(self) -> dict[str, Any]:
+        manager = self.kernel.objects
+        return {
+            # entries are copied so later mutation cannot rewrite history
+            "pending": [replace(entry) for entry in self.outbox.pending()],
+            "applied": frozenset(self.applied),
+            "registrations": manager.handlers.entries(),
+            "objects": {oid: snapshot_object(manager.get(oid))
+                        for oid in manager.oids()},
+        }
+
+    # ==================================================================
+    # crash / recovery
+    # ==================================================================
+
+    def on_crash(self) -> None:
+        """Memory is gone; the journal (the durable medium) survives."""
+        if self._flush_timer is not None:
+            self.kernel.timers.cancel(self._flush_timer)
+            self._flush_timer = None
+        self._enqueued.clear()
+        self.applied.clear()
+        self.outbox.restore([])
+
+    def recover(self) -> tuple[int, float]:
+        """Replay the journal; returns (records replayed, time to charge).
+
+        Rebuilds the outbox pending index, the applied set, and the
+        object-handler registry; objects recorded in the checkpoint but
+        missing from memory are reconstructed from their snapshots.
+        """
+        if not self.enabled:
+            return 0, 0.0
+        manager = self.kernel.objects
+        state, tail = self.journal.replay()
+        restored_objects = 0
+        if state is not None:
+            self.applied = set(state["applied"])
+            self.outbox.restore([replace(entry)
+                                 for entry in state["pending"]])
+            manager.handlers.restore(state["registrations"])
+            for oid, snapshot in state["objects"].items():
+                if manager.get(oid) is None:
+                    manager.adopt(restore_object(snapshot))
+                    restored_objects += 1
+        for record in tail:
+            if record.rtype in (REC_POST, REC_ACK):
+                self.outbox.apply_record(record)
+            elif record.rtype == REC_APPLIED:
+                self.applied.add(record.data["entry_id"])
+            elif record.rtype == REC_REG:
+                manager.handlers.register(record.data["oid"],
+                                          record.data["event"],
+                                          record.data["fn_name"])
+            elif record.rtype == REC_UNREG:
+                manager.handlers.unregister(record.data["oid"],
+                                            record.data["event"])
+        self.outbox.park_all()
+        replayed = len(tail) + (1 if state is not None else 0)
+        recovery_time = replayed * self.kernel.config.replay_cost
+        self.recovery_log.append({
+            "at": self.sim.now, "replayed": replayed,
+            "recovery_time": recovery_time,
+            "restored_objects": restored_objects,
+            "pending_redelivery": len(self.outbox),
+            "registrations": len(manager.handlers),
+        })
+        return replayed, recovery_time
+
+    def schedule_redelivery(self, delay: float) -> None:
+        """After the charged replay time: re-dispatch everything pending
+        from this node and tell the cluster so peers flush entries
+        addressed here."""
+
+        def redeliver() -> None:
+            if self.kernel.crashed:
+                return  # crashed again before replay time elapsed
+            for entry in self.outbox.pending():
+                self._dispatch(entry)
+            self.kernel.cluster.node_recovered(self.kernel.node_id)
+
+        if delay > 0:
+            self.sim.call_after(delay, redeliver)
+        else:
+            self.sim.call_soon(redeliver)
+
+    # ==================================================================
+    # redelivery (flush timer + recovery announcements)
+    # ==================================================================
+
+    def flush_to(self, dst: int) -> int:
+        """A peer recovered: re-dispatch every pending entry bound for it
+        (in-flight ones included — anything queued there died with it)."""
+        entries = self.outbox.pending_for(dst)
+        for entry in entries:
+            self._dispatch(entry)
+        return len(entries)
+
+    def _dispatch(self, entry: OutboxEntry) -> None:
+        self.outbox.mark_dispatched(entry)
+        self.kernel.events.redeliver_entry(self.kernel.node_id, entry)
+
+    def _arm_flush(self) -> None:
+        interval = self.kernel.config.outbox_flush_interval
+        if not self.enabled or interval is None or self.kernel.crashed:
+            return
+        if self._flush_timer is None:
+            self._flush_timer = self.kernel.timers.set(
+                interval, self._flush_tick)
+
+    def _flush_tick(self) -> None:
+        self._flush_timer = None
+        if self.kernel.crashed:
+            return
+        for entry in self.outbox.parked():
+            self._dispatch(entry)
+        # No immediate re-arm: a later give-up parks and re-arms; this
+        # keeps the simulation quiescent once everything resolves.
+
+    # ==================================================================
+    # reporting
+    # ==================================================================
+
+    def stats(self) -> dict[str, int]:
+        return {**self.journal.stats(), **self.outbox.stats(),
+                "checkpoints": self.checkpoints.taken,
+                "applied": len(self.applied),
+                "recoveries": len(self.recovery_log)}
+
+
+__all__ = ["MSG_STORE_ACK", "NodeStore", "DELIVERED", "NOTICED"]

@@ -49,6 +49,55 @@ class TestChaosInvariants:
         assert all(n == 1 for n in report.probe_executions.values())
 
 
+class TestDurableChaos:
+    """Durable mode: journaled posts to persistent objects must never be
+    lost — exactly-once execution with no notice escape hatch, and the
+    outbox fully drained by the end of the run (ISSUE acceptance point:
+    drop=0.1 with periodic crash/recover)."""
+
+    def test_zero_journaled_posts_lost_across_crashes(self):
+        spec = ChaosSpec(seed=3, durable=True, posts=120, drop_rate=0.1,
+                         crash_period=0.8, down_time=0.5)
+        report = run_chaos(spec)
+        assert not report.violations, report.violations[:3]
+        assert report.crashes, "schedule must include crashes"
+        assert report.executed_once == spec.posts
+        assert not report.notices, "durable posts must not degrade to notices"
+        assert report.durability["pending"] == 0
+        # crashes force real redelivery work, not a lucky clean run
+        assert report.durability["redelivered"] > 0
+        assert report.durability["recoveries"] > 0
+
+    def test_durable_invariants_across_seeds(self):
+        for seed in range(4):
+            spec = ChaosSpec(seed=seed, durable=True, posts=80,
+                             drop_rate=0.1, crash_period=0.6, down_time=0.4)
+            report = run_chaos(spec)
+            assert not report.violations, (seed, report.violations[:3])
+            assert report.executed_once == spec.posts, seed
+
+    def test_durable_run_is_deterministic(self):
+        spec = ChaosSpec(seed=17, durable=True, posts=60, drop_rate=0.15,
+                         crash_period=0.6, down_time=0.4,
+                         checkpoint_interval=16)
+        first, second = run_chaos(spec), run_chaos(spec)
+        assert first.digest == second.digest
+        assert first.durability == second.durability
+        assert first.recoveries == second.recoveries
+
+    def test_fault_free_durable_overhead_bounded(self):
+        """Without faults the journal costs at most two appends per
+        fabric message (it is three appends per remote post against
+        four-plus messages)."""
+        spec = ChaosSpec(seed=4, durable=True, posts=40, drop_rate=0.0,
+                         duplicate_rate=0.0, crash_period=None)
+        report = run_chaos(spec)
+        assert not report.violations
+        assert report.durability["redelivered"] == 0
+        assert report.durability["appends"] <= \
+            2 * report.message_stats["sent"]
+
+
 class TestDeterminism:
     def test_same_seed_same_digest(self):
         spec = ChaosSpec(seed=21, locator="cached", posts=50, drop_rate=0.1,

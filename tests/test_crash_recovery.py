@@ -222,6 +222,50 @@ class TestRecovery:
         cluster.recover_node(1)
         assert thread.tid not in kernel.thread_table
 
+    def test_crash_leaves_all_multicast_groups(self):
+        """A crashing node's group memberships are kernel state: crash
+        must leave every group, keeping the registry's join/leave
+        accounting balanced and dead nodes out of member sets."""
+        cluster = reliable_cluster(locator="multicast")
+        groups = cluster.fabric.multicast_groups
+        sleeper = cluster.create_object(Sleeper, node=2)
+        cluster.spawn(sleeper, "hold", 1000.0, at=2)
+        cluster.run(until=0.5)
+        assert groups.groups_of(2), "running thread must join its group"
+        cluster.crash_node(2)
+        assert groups.groups_of(2) == frozenset()
+        live = sum(len(groups.members(g))
+                   for g in {g for n in range(4) for g in groups.groups_of(n)})
+        assert groups.joins - groups.leaves == live
+
+    def test_multicast_locator_across_crash_recover(self):
+        """Regression: with the multicast locator, a post after a crash
+        must not be swallowed by the dead node's stale membership — the
+        raiser gets a notice while the node is down, and a respawned
+        target is reachable again after recovery."""
+        cluster = reliable_cluster(locator="multicast")
+        cluster.register_event("PING")
+        seen, noticed = [], []
+        cluster.events.on_undeliverable = \
+            lambda block, target: noticed.append(block.user_data)
+        sink = cluster.create_object(Sink, node=2)
+        thread = cluster.spawn(sink, "absorb", seen, 1000.0, at=2)
+        cluster.run(until=0.5)
+        cluster.raise_event("PING", thread.tid, from_node=0, user_data="up")
+        cluster.run(until=cluster.now + 0.5)
+        assert seen == ["up"]
+        cluster.crash_node(2)
+        cluster.raise_event("PING", thread.tid, from_node=0, user_data="down")
+        cluster.run(until=cluster.now + 1.0)
+        assert "down" in noticed and seen == ["up"]
+        cluster.recover_node(2)
+        respawned = cluster.spawn(sink, "absorb", seen, 1000.0, at=2)
+        cluster.run(until=cluster.now + 0.5)
+        cluster.raise_event("PING", respawned.tid, from_node=0,
+                            user_data="back")
+        cluster.run(until=cluster.now + 0.5)
+        assert seen == ["up", "back"]
+
     def test_events_flow_after_crash_recover_cycle(self):
         cluster = reliable_cluster()
         cluster.register_event("PING")

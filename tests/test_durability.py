@@ -1,0 +1,352 @@
+"""End-to-end durability: journal-before-send, outbox redelivery across
+node crashes, the persistent object-handler registry, checkpointed
+recovery, and exactly-once execution of durable posts."""
+
+import pytest
+
+from repro import Cluster, ClusterConfig, DistObject, entry, on_event
+from repro.errors import KernelError
+from repro.store import DELIVERED, MSG_STORE_ACK, NOTICED
+from tests.conftest import Sleeper, make_cluster
+
+
+class Counter(DistObject):
+    """Persistent object counting handler runs — the exactly-once probe."""
+
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    @on_event("PING")
+    def on_ping(self, ctx, block):
+        self.seen.append(block.user_data)
+        yield ctx.compute(1e-5)
+        return "pong"
+
+    def on_tick(self, ctx, block):
+        """Undecorated: only reachable via dynamic registration."""
+        self.seen.append(("tick", block.user_data))
+        yield ctx.compute(1e-5)
+
+
+def durable_cluster(**overrides):
+    overrides.setdefault("n_nodes", 4)
+    overrides.setdefault("durable_delivery", True)
+    overrides.setdefault("post_deadline", 0.5)
+    return make_cluster(**overrides)
+
+
+class TestConfig:
+    def test_durable_implies_reliable(self):
+        config = ClusterConfig(durable_delivery=True)
+        assert config.reliable_delivery
+
+    def test_knob_validation(self):
+        with pytest.raises(KernelError):
+            ClusterConfig(checkpoint_interval=0)
+        with pytest.raises(KernelError):
+            ClusterConfig(outbox_flush_interval=0.0)
+        with pytest.raises(KernelError):
+            ClusterConfig(replay_cost=-1.0)
+
+
+class TestFaultFreePath:
+    def test_durable_object_post_resolves_and_journals(self):
+        cluster = durable_cluster()
+        cluster.register_event("PING")
+        counter = cluster.create_object(Counter, node=2)
+        fut = cluster.raise_event("PING", counter, from_node=0)
+        cluster.run()
+        assert fut.result() == 1
+        obj = cluster.get_object(counter)
+        assert obj.seen == [None]
+        store0 = cluster.kernels[0].store
+        assert len(store0.outbox) == 0
+        assert store0.outbox.delivered == 1
+        # origin journal: the post and its ack; receiver: the applied mark
+        assert [r.rtype for r in cluster.store.journal(0)] == ["post", "ack"]
+        assert [r.rtype for r in cluster.store.journal(2)] == ["applied"]
+
+    def test_store_ack_message_flows(self):
+        cluster = durable_cluster()
+        cluster.register_event("PING")
+        counter = cluster.create_object(Counter, node=1)
+        cluster.raise_event("PING", counter, from_node=0)
+        cluster.run()
+        assert cluster.fabric.stats.count(MSG_STORE_ACK) == 1
+
+    def test_journal_overhead_bounded_by_messages(self):
+        """Fault-free: appends stay within 2x the messages sent."""
+        cluster = durable_cluster()
+        cluster.register_event("PING")
+        counter = cluster.create_object(Counter, node=3)
+        for i in range(20):
+            cluster.raise_event("PING", counter, from_node=0, user_data=i)
+        cluster.run()
+        stats = cluster.durability_stats()
+        sent = cluster.fabric.stats.sent
+        assert stats["appends"] <= 2 * sent
+        assert stats["pending"] == 0
+
+    def test_local_durable_post_needs_no_messages(self):
+        cluster = durable_cluster()
+        cluster.register_event("PING")
+        counter = cluster.create_object(Counter, node=0)
+        cluster.raise_event("PING", counter, from_node=0)
+        cluster.run()
+        assert cluster.fabric.stats.sent == 0
+        assert len(cluster.kernels[0].store.outbox) == 0
+
+    def test_disabled_store_is_inert(self):
+        cluster = make_cluster(n_nodes=3)
+        cluster.register_event("PING")
+        counter = cluster.create_object(Counter, node=1)
+        cluster.raise_event("PING", counter, from_node=0)
+        cluster.run()
+        assert cluster.durability_stats()["appends"] == 0
+        assert cluster.durability_stats()["recorded"] == 0
+
+
+class TestRedelivery:
+    def test_post_to_crashed_home_parks_then_redelivers(self):
+        cluster = durable_cluster()
+        cluster.register_event("PING")
+        counter = cluster.create_object(Counter, node=2)
+        cluster.run()
+        cluster.crash_node(2)
+        fut = cluster.raise_event("PING", counter, from_node=0,
+                                  user_data="survives")
+        cluster.run(until=cluster.now + 1.0)
+        obj = cluster.get_object(counter)
+        assert obj.seen == []  # parked, not lost, not yet delivered
+        store0 = cluster.kernels[0].store
+        assert len(store0.outbox) == 1
+        cluster.recover_node(2)
+        cluster.run(until=cluster.now + 2.0)
+        assert obj.seen == ["survives"]
+        assert len(store0.outbox) == 0
+        assert store0.outbox.redelivered >= 1
+        assert fut.result() == 1
+
+    def test_posts_queued_at_crash_instant_redeliver(self):
+        """The PR 2 gap: posts sitting in the master handler queue when
+        the node dies were converted to notices; durable delivery must
+        re-deliver them after recovery, exactly once."""
+        cluster = durable_cluster()
+        cluster.register_event("PING")
+        counter = cluster.create_object(Counter, node=1)
+        cluster.run()
+        n = 5
+        for i in range(n):
+            cluster.raise_event("PING", counter, from_node=0, user_data=i)
+        # Let the posts arrive and enqueue, then kill the node before the
+        # master thread drains the queue.
+        link = cluster.config.link_latency
+        cluster.run(until=cluster.now + link * 1.5)
+        cluster.crash_node(1)
+        cluster.run(until=cluster.now + 0.5)
+        obj = cluster.get_object(counter)
+        executed_before = list(obj.seen)
+        cluster.recover_node(1)
+        cluster.run(until=cluster.now + 3.0)
+        assert sorted(obj.seen) == list(range(n))  # all n, exactly once
+        assert len(obj.seen) == n
+        assert executed_before != obj.seen or executed_before == obj.seen
+        assert len(cluster.kernels[0].store.outbox) == 0
+
+    def test_origin_crash_redispatches_own_pending_on_recovery(self):
+        """The origin journals before sending; if it crashes before the
+        ack arrives, its own recovery replays and re-dispatches."""
+        cluster = durable_cluster()
+        cluster.register_event("PING")
+        counter = cluster.create_object(Counter, node=2)
+        cluster.run()
+        cluster.raise_event("PING", counter, from_node=0, user_data="x")
+        # crash the origin before the ack can arrive (needs 2 link hops)
+        cluster.crash_node(0)
+        cluster.run(until=cluster.now + 0.5)
+        cluster.recover_node(0)
+        cluster.run(until=cluster.now + 2.0)
+        obj = cluster.get_object(counter)
+        # executed exactly once: either the first send landed (applied-set
+        # suppressed the redelivery) or the redelivery carried it
+        assert obj.seen == ["x"]
+        assert len(cluster.kernels[0].store.outbox) == 0
+
+
+class TestExactlyOnce:
+    def test_duplicate_redelivery_is_suppressed_by_applied_set(self):
+        cluster = durable_cluster()
+        cluster.register_event("PING")
+        counter = cluster.create_object(Counter, node=1)
+        cluster.raise_event("PING", counter, from_node=0, user_data="once")
+        cluster.run()
+        obj = cluster.get_object(counter)
+        assert obj.seen == ["once"]
+        # force a manual redelivery of an already-delivered entry: the
+        # receiver's journaled applied set must suppress re-execution
+        store1 = cluster.kernels[1].store
+        applied = set(store1.applied)
+        assert len(applied) == 1
+        entry_id = next(iter(applied))
+        assert not store1.accept_post(entry_id)
+        cluster.run()
+        assert obj.seen == ["once"]
+
+
+class TestThreadPostsResolveByNotice:
+    def test_durable_thread_post_to_dead_thread_is_noticed(self):
+        cluster = durable_cluster()
+        cluster.register_event("PING")
+        sleeper = cluster.create_object(Sleeper, node=2)
+        thread = cluster.spawn(sleeper, "hold", 1000.0, at=2)
+        cluster.run(until=0.5)
+        cluster.crash_node(2)
+        cluster.run(until=cluster.now + 0.2)
+        cluster.raise_event("PING", thread.tid, from_node=0)
+        cluster.run(until=cluster.now + 2.0)
+        store0 = cluster.kernels[0].store
+        assert len(store0.outbox) == 0
+        assert store0.outbox.noticed == 1
+        assert store0.outbox.delivered == 0
+
+    def test_durable_thread_post_delivered_acks(self):
+        cluster = durable_cluster()
+        cluster.register_event("PING")
+        seen = []
+        from tests.test_crash_recovery import Sink
+        sink = cluster.create_object(Sink, node=1)
+        thread = cluster.spawn(sink, "absorb", seen, 3.0, at=1)
+        cluster.run(until=0.5)
+        cluster.raise_event("PING", thread.tid, from_node=0, user_data="hi")
+        cluster.run(until=cluster.now + 1.0)
+        assert seen == ["hi"]
+        store0 = cluster.kernels[0].store
+        assert len(store0.outbox) == 0
+        assert store0.outbox.delivered == 1
+
+
+class TestPersistentRegistry:
+    def test_dynamic_registration_routes_posts(self):
+        cluster = durable_cluster()
+        cluster.register_event("TICK")
+        counter = cluster.create_object(Counter, node=1)
+        cluster.kernels[1].objects.register_object_handler(
+            counter.oid, "TICK", "on_tick")
+        cluster.raise_event("TICK", counter, from_node=0, user_data=7)
+        cluster.run()
+        assert cluster.get_object(counter).seen == [("tick", 7)]
+
+    def test_registration_survives_crash_recover(self):
+        cluster = durable_cluster()
+        cluster.register_event("TICK")
+        counter = cluster.create_object(Counter, node=1)
+        cluster.kernels[1].objects.register_object_handler(
+            counter.oid, "TICK", "on_tick")
+        cluster.crash_node(1)
+        assert len(cluster.kernels[1].objects.handlers) == 0  # volatile
+        cluster.recover_node(1)
+        cluster.run(until=cluster.now + 1.0)
+        assert cluster.kernels[1].objects.handlers.lookup(
+            counter.oid, "TICK") == "on_tick"
+        cluster.raise_event("TICK", counter, from_node=0, user_data=9)
+        cluster.run()
+        assert cluster.get_object(counter).seen == [("tick", 9)]
+
+    def test_registration_lost_without_durability(self):
+        cluster = make_cluster(n_nodes=3, reliable_delivery=True)
+        cluster.register_event("TICK")
+        counter = cluster.create_object(Counter, node=1)
+        cluster.kernels[1].objects.register_object_handler(
+            counter.oid, "TICK", "on_tick")
+        cluster.crash_node(1)
+        cluster.recover_node(1)
+        assert cluster.kernels[1].objects.handlers.lookup(
+            counter.oid, "TICK") is None
+
+    def test_unregistration_is_journaled_too(self):
+        cluster = durable_cluster()
+        cluster.register_event("TICK")
+        counter = cluster.create_object(Counter, node=1)
+        manager = cluster.kernels[1].objects
+        manager.register_object_handler(counter.oid, "TICK", "on_tick")
+        assert manager.unregister_object_handler(counter.oid, "TICK")
+        cluster.crash_node(1)
+        cluster.recover_node(1)
+        cluster.run(until=cluster.now + 1.0)
+        assert manager.handlers.lookup(counter.oid, "TICK") is None
+
+    def test_bad_registration_rejected(self):
+        from repro.errors import NoSuchEntryError
+        cluster = durable_cluster()
+        cluster.register_event("TICK")
+        counter = cluster.create_object(Counter, node=1)
+        with pytest.raises(NoSuchEntryError):
+            cluster.kernels[1].objects.register_object_handler(
+                counter.oid, "TICK", "no_such_method")
+
+
+class TestCheckpointing:
+    def test_auto_checkpoint_bounds_journal_length(self):
+        cluster = durable_cluster(checkpoint_interval=8)
+        cluster.register_event("PING")
+        counter = cluster.create_object(Counter, node=1)
+        for i in range(40):
+            cluster.raise_event("PING", counter, from_node=0, user_data=i)
+        cluster.run()
+        journal = cluster.store.journal(0)
+        # 40 posts -> 80 payload records at the origin, but retention is
+        # bounded by the interval, not the history
+        assert len(journal) <= 8 + 2  # interval + checkpoint + slack
+        assert journal.truncations >= 1
+        assert cluster.kernels[0].store.checkpoints.taken >= 1
+
+    def test_recovery_replays_tail_only(self):
+        cluster = durable_cluster(checkpoint_interval=8)
+        cluster.register_event("PING")
+        counter = cluster.create_object(Counter, node=1)
+        for i in range(40):
+            cluster.raise_event("PING", counter, from_node=0, user_data=i)
+        cluster.run()
+        cluster.crash_node(0)
+        cluster.recover_node(0)
+        cluster.run(until=cluster.now + 1.0)
+        log = cluster.kernels[0].store.recovery_log
+        assert len(log) == 1
+        assert log[0]["replayed"] <= 8 + 1
+
+    def test_object_restored_from_checkpoint_after_media_loss(self):
+        cluster = durable_cluster()
+        cluster.register_event("PING")
+        counter = cluster.create_object(Counter, node=1)
+        for i in range(3):
+            cluster.raise_event("PING", counter, from_node=0, user_data=i)
+        cluster.run()
+        obj = cluster.get_object(counter)
+        assert sorted(obj.seen) == [0, 1, 2]
+        kernel = cluster.kernels[1]
+        kernel.store.checkpoint()
+        # simulate losing the in-memory instance entirely
+        kernel.objects._objects.pop(counter.oid)
+        cluster.object_directory.pop(counter.oid)
+        cluster.crash_node(1)
+        cluster.recover_node(1)
+        cluster.run(until=cluster.now + 1.0)
+        restored = kernel.objects.get(counter.oid)
+        assert restored is not None and restored is not obj
+        assert sorted(restored.seen) == [0, 1, 2]
+        assert restored.home == 1
+
+    def test_manual_checkpoint_truncates(self):
+        cluster = durable_cluster(checkpoint_interval=None)
+        cluster.register_event("PING")
+        counter = cluster.create_object(Counter, node=1)
+        for i in range(10):
+            cluster.raise_event("PING", counter, from_node=0, user_data=i)
+        cluster.run()
+        journal = cluster.store.journal(0)
+        before = len(journal)
+        assert before == 20  # post + ack per post, never truncated
+        dropped = cluster.kernels[0].store.checkpoint()
+        assert dropped == 20
+        assert len(journal) == 1  # just the checkpoint record

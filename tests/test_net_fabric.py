@@ -141,6 +141,32 @@ class TestMulticastRegistry:
         reg.dissolve("g")
         assert reg.members("g") == frozenset()
 
+    def test_dissolve_counts_each_member_as_a_leave(self):
+        reg = MulticastRegistry()
+        for node in (1, 2, 3):
+            reg.join("g", node)
+        reg.dissolve("g")
+        assert reg.leaves == 3
+        assert reg.joins - reg.leaves == 0
+
+    def test_dissolve_missing_or_empty_group_counts_nothing(self):
+        reg = MulticastRegistry()
+        reg.dissolve("ghost")
+        assert reg.leaves == 0
+
+    def test_join_leave_balance_invariant(self):
+        """joins - leaves must always equal the number of live
+        memberships, whichever mix of leave/dissolve removed them."""
+        reg = MulticastRegistry()
+        reg.join("a", 1)
+        reg.join("a", 2)
+        reg.join("b", 1)
+        reg.join("b", 3)
+        reg.leave("a", 2)
+        reg.dissolve("b")
+        live = sum(len(reg.members(g)) for g in ("a", "b"))
+        assert reg.joins - reg.leaves == live == 1
+
     def test_require_members_raises_when_empty(self):
         reg = MulticastRegistry()
         with pytest.raises(NetworkError):
@@ -239,6 +265,34 @@ class TestStatsAndTrace:
         assert delta["type:a"] == 1
         assert delta["type:b"] == 1
 
+    def test_delta_since_key_appearing_after_snapshot(self):
+        """A message type first seen after the snapshot must show up in
+        the delta as a positive count, not a KeyError or omission."""
+        sim, fabric, _ = make_cluster()
+        fabric.send(Message(src=0, dst=1, mtype="a"))
+        before = fabric.stats.snapshot()
+        assert "type:fresh" not in before
+        fabric.send(Message(src=0, dst=1, mtype="fresh"))
+        fabric.send(Message(src=0, dst=1, mtype="fresh"))
+        delta = fabric.stats.delta_since(before)
+        assert delta["type:fresh"] == 2
+        assert delta["type:a"] == 0
+
+    def test_delta_since_vanished_key_goes_negative(self):
+        """Keys present in the snapshot but gone from the live counters
+        (a reset between the two) yield negative deltas — the honest
+        answer, not a silent drop of the key."""
+        sim, fabric, _ = make_cluster()
+        fabric.send(Message(src=0, dst=1, mtype="a", size=10))
+        before = fabric.stats.snapshot()
+        fabric.stats.reset()
+        delta = fabric.stats.delta_since(before)
+        assert delta["type:a"] == -1
+        assert delta["sent"] == -1
+        assert delta["bytes_sent"] == -10
+        # every key from either side is present in the delta
+        assert set(delta) >= set(before)
+
     def test_count_prefix(self):
         sim, fabric, _ = make_cluster()
         fabric.send(Message(src=0, dst=1, mtype="rpc.request"))
@@ -292,6 +346,27 @@ class TestLatencyReservoir:
         assert res.last(2) == [("EVT", 8.0), ("EVT", 9.0)]
         assert res.p50 == 8.0  # nearest rank over [6, 7, 8, 9]
         assert res.p99 == 9.0
+
+    def test_exactly_capacity_samples_keeps_everything(self):
+        """At exactly ``capacity`` samples nothing has been evicted:
+        the window, the aggregates and the percentiles all see every
+        sample — and the very next record evicts only the oldest."""
+        from repro.net.stats import LatencyReservoir
+
+        res = LatencyReservoir(capacity=5)
+        for i in range(5):
+            res.record("EVT", float(i))
+        assert len(res) == res.capacity == 5
+        assert res.count == 5
+        assert res.last(5) == [("EVT", float(i)) for i in range(5)]
+        assert res.mean == 2.0
+        assert res.p50 == 2.0  # nearest rank over the full [0..4]
+        assert res.p99 == 4.0
+        assert res.summary()["retained"] == 5
+        res.record("EVT", 5.0)
+        assert len(res) == 5  # still bounded
+        assert res.count == 6  # aggregates keep counting
+        assert res.last(5)[0] == ("EVT", 1.0)  # only the oldest left
 
     def test_capacity_validated(self):
         import pytest

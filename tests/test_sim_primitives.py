@@ -180,3 +180,24 @@ class TestChannel:
         g1.cancel()
         chan.put("x")
         assert g2.result() == "x"
+
+    def test_reset_forgets_waiting_getters(self, sim):
+        """Regression: after a consumer dies mid-``get`` (node crash),
+        its stale future must not swallow the next ``put`` — ``reset``
+        drops items AND waiters so a fresh consumer sees new items."""
+        chan = Channel(sim)
+        stale = chan.get()  # consumer dies while parked here
+        assert not stale.done
+        chan.reset()  # crash cleanup
+        chan.put("post-crash")  # must not be handed to the dead waiter
+        assert not stale.done
+        assert chan.get().result() == "post-crash"
+
+    def test_reset_returns_queued_items(self, sim):
+        chan = Channel(sim)
+        chan.put(1)
+        chan.put(2)
+        stale = chan.get()  # resolved immediately with 1
+        assert stale.result() == 1
+        assert chan.reset() == [2]
+        assert len(chan) == 0
