@@ -118,6 +118,11 @@ class ChaosSpec:
     checkpoint_interval: int | None = 64
     outbox_flush_interval: float | None = 0.25
     replay_cost: float = 2e-5
+    #: transport fast path knobs (E10): same guarantees on or off, only
+    #: envelope/commit counts change — the invariants must hold either way
+    ack_delay: float = 1e-3
+    ack_piggyback: bool = True
+    journal_group_commit: bool = True
 
     @property
     def active_time(self) -> float:
@@ -239,6 +244,8 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
         checkpoint_interval=spec.checkpoint_interval,
         outbox_flush_interval=spec.outbox_flush_interval,
         replay_cost=spec.replay_cost,
+        ack_delay=spec.ack_delay, ack_piggyback=spec.ack_piggyback,
+        journal_group_commit=spec.journal_group_commit,
         rpc_default_timeout=0.5, trace_net=False))
     cluster.register_event(CHAOS_EVENT)
     sim, faults = cluster.sim, cluster.fabric.faults

@@ -270,6 +270,7 @@ class EventManager:
             return 1
         if isinstance(target, GroupId):
             members = sorted(self.cluster.groups.members_or_empty(target))
+            blocks = []
             for tid in members:
                 # Each member gets its own copy of the block (separate
                 # snapshots/decisions) tied to the same sync record.
@@ -279,8 +280,13 @@ class EventManager:
                     synchronous=block.synchronous,
                     user_data=block.user_data, raised_at=block.raised_at)
                 member_block._resume_token = block.block_id
-                if store is not None:
-                    store.journal_post(member_block, "thread")
+                blocks.append(member_block)
+            if store is not None and blocks:
+                # The whole fan-out is known before the first send, so
+                # write-ahead it as one group commit.
+                store.journal_post_batch(
+                    [(b, "thread", None) for b in blocks])
+            for tid, member_block in zip(members, blocks):
                 self._post_thread(from_node, tid, member_block)
             return len(members)
         # single thread

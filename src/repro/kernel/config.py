@@ -117,6 +117,21 @@ class ClusterConfig:
     max_retransmits: int = 10
     #: Per-sender bound on remembered out-of-order sequence numbers.
     dedup_window: int = 1024
+    #: Transport fast path (all default on; semantics are identical
+    #: either way, only envelope and simulator-heap counts change).
+    #: Coalescing window for cumulative acks (virtual seconds): arrivals
+    #: from one peer within the window share a single ack. 0 = ack every
+    #: arrival immediately (still cumulative). Keep well below
+    #: ``retransmit_base`` minus a round trip or delayed acks trigger
+    #: spurious retransmissions.
+    ack_delay: float = 1e-3
+    #: Ride a pending cumulative ack on any reverse-direction data
+    #: message instead of a dedicated ``rel.ack`` envelope.
+    ack_piggyback: bool = True
+    #: Journal group-target posts as one batch commit
+    #: (:meth:`repro.store.journal.NodeJournal.append_batch`) instead of
+    #: one commit per member record.
+    journal_group_commit: bool = True
     #: Default timeout for RPC requests made without an explicit one
     #: (None = wait forever, the seed behaviour).
     rpc_default_timeout: float | None = None
@@ -180,7 +195,7 @@ class ClusterConfig:
                 f"unknown object_event_mode {self.object_event_mode!r}")
         for name in ("link_latency", "thread_create_cost", "surrogate_cost",
                      "context_switch_cost", "attach_cost", "locate_timeout",
-                     "locate_retry_delay", "retransmit_base"):
+                     "locate_retry_delay", "retransmit_base", "ack_delay"):
             if getattr(self, name) < 0:
                 raise KernelError(f"{name} must be non-negative")
         if self.retransmit_backoff < 1.0:

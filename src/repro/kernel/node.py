@@ -41,7 +41,9 @@ class Kernel:
             rto_base=cluster.config.retransmit_base,
             backoff=cluster.config.retransmit_backoff,
             max_retransmits=cluster.config.max_retransmits,
-            dedup_window=cluster.config.dedup_window)
+            dedup_window=cluster.config.dedup_window,
+            ack_delay=cluster.config.ack_delay,
+            ack_piggyback=cluster.config.ack_piggyback)
         self.crashed = False
         self.timers = TimerService(cluster.sim, node_id)
         self.thread_table = ThreadTable(node_id)
@@ -77,6 +79,10 @@ class Kernel:
 
     def deliver(self, message: Message) -> None:
         """Fabric delivery callback: dispatch by message type."""
+        if message.ack is not None:
+            # Piggybacked cumulative ack: settle it before dispatch so a
+            # handler's own sends see up-to-date pending state.
+            self.reliable.on_cum_ack(message.src, message.ack)
         if message.rel is not None and message.mtype != MSG_REL_ACK:
             if not self.reliable.accept(message):
                 return  # duplicate of an already-dispatched message

@@ -169,7 +169,8 @@ class Fabric:
             payload = dict(payload)
         clone = Message(src=message.src, dst=message.dst,
                         mtype=message.mtype, payload=payload,
-                        size=message.size, rel=message.rel)
+                        size=message.size, rel=message.rel,
+                        ack=message.ack)
         clone.msg_id = next(self._msg_ids)
         return clone
 

@@ -42,6 +42,14 @@ class Message:
         ``(sender node, link sequence number)`` pair that receivers ack
         and deduplicate on. Retransmissions and fault-injected duplicates
         carry the same header, so exactly one copy is dispatched.
+    ack:
+        Piggybacked cumulative acknowledgement, or ``None``. Set by the
+        sending node's :class:`~repro.net.reliable.ReliableChannel` when
+        a delayed ack to ``dst`` is outstanding: the value acknowledges
+        every sequence number the sender has received *in order* from
+        ``dst``, saving the dedicated ``rel.ack`` envelope. Cumulative
+        acks are monotonic and idempotent, so a stale value riding a
+        retransmitted envelope is harmless.
     """
 
     src: int
@@ -51,6 +59,7 @@ class Message:
     size: int = 64
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
     rel: tuple[int, int] | None = None
+    ack: int | None = None
 
     def reply_envelope(self, mtype: str, payload: Any = None,
                        size: int = 64) -> "Message":

@@ -31,10 +31,22 @@ class Handle:
     when: float
     seq: int
     _entry: list = field(repr=False, compare=False)
+    _sim: "Simulator | None" = field(default=None, repr=False, compare=False)
 
     def cancel(self) -> None:
-        """Prevent the callback from running. Idempotent."""
+        """Prevent the callback from running. Idempotent.
+
+        Nulls out the callback *and its arguments* so a cancelled entry
+        pins no closures or payloads while it waits to be popped (a
+        retransmit timer's cancelled entry used to keep its whole message
+        alive until its virtual deadline drained past).
+        """
+        if self._entry[3] is None:
+            return
         self._entry[3] = None
+        self._entry[2] = ()
+        if self._sim is not None:
+            self._sim._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -62,12 +74,18 @@ class Simulator:
     1.5
     """
 
+    #: below this queue size compaction is pointless (the rebuild costs
+    #: more than lazily skipping the handful of dead entries)
+    COMPACT_MIN = 64
+
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
         self._queue: list[list] = []
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        self._cancelled = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -82,7 +100,30 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of scheduled (non-cancelled) callbacks."""
-        return sum(1 for entry in self._queue if entry[3] is not None)
+        return len(self._queue) - self._cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Times the heap was rebuilt to purge cancelled entries."""
+        return self._compactions
+
+    def _note_cancel(self) -> None:
+        """A handle was cancelled; compact once dead entries dominate.
+
+        Lazy cancellation leaves the entry in the heap, which is fine
+        while live work drains past it — but a workload that schedules
+        and cancels far into the future (per-send retransmit timers were
+        the worst offender) can grow the heap without bound. Rebuilding
+        once the dead fraction passes one half keeps total compaction
+        work O(1) amortised per cancellation.
+        """
+        self._cancelled += 1
+        if (len(self._queue) > self.COMPACT_MIN
+                and self._cancelled * 2 > len(self._queue)):
+            self._queue = [e for e in self._queue if e[3] is not None]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
+            self._compactions += 1
 
     def call_at(self, when: float, fn: Callable[..., Any], *args: Any) -> Handle:
         """Schedule ``fn(*args)`` at virtual time ``when``.
@@ -96,7 +137,7 @@ class Simulator:
             )
         entry = [float(when), next(self._seq), args, fn]
         heapq.heappush(self._queue, entry)
-        return Handle(entry[0], entry[1], entry)
+        return Handle(entry[0], entry[1], entry, self)
 
     def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Handle:
         """Schedule ``fn(*args)`` after ``delay`` seconds of virtual time."""
@@ -113,6 +154,7 @@ class Simulator:
         while self._queue:
             when, _seq, args, fn = heapq.heappop(self._queue)
             if fn is None:
+                self._cancelled -= 1
                 continue
             self._now = when
             self._events_processed += 1
@@ -160,6 +202,7 @@ class Simulator:
         """Virtual time of the next live callback, or None."""
         while self._queue and self._queue[0][3] is None:
             heapq.heappop(self._queue)
+            self._cancelled -= 1
         if not self._queue:
             return None
         return self._queue[0][0]

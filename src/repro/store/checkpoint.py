@@ -72,9 +72,13 @@ class CheckpointManager:
         self._since_checkpoint = 0
         self.taken = 0
 
-    def note_append(self) -> bool:
-        """Count one payload append; True when a checkpoint is due."""
-        self._since_checkpoint += 1
+    def note_append(self, n: int = 1) -> bool:
+        """Count ``n`` payload appends; True when a checkpoint is due.
+
+        Group-committed batches pass their record count so the interval
+        keeps measuring journal growth, not commit units.
+        """
+        self._since_checkpoint += n
         return (self.interval is not None
                 and self._since_checkpoint >= self.interval)
 

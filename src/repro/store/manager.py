@@ -85,6 +85,24 @@ class NodeStore:
         self._after_append()
         return entry
 
+    def journal_post_batch(
+            self, posts: list[tuple["EventBlock", str, int | None]],
+    ) -> list[OutboxEntry]:
+        """Write-ahead a fan-out of posts as one group commit.
+
+        Falls back to per-post :meth:`journal_post` when
+        ``config.journal_group_commit`` is off — identical records and
+        LSNs either way, only the commit count differs.
+        """
+        if not self.kernel.config.journal_group_commit:
+            return [self.journal_post(block, kind, dst)
+                    for block, kind, dst in posts]
+        entries = self.outbox.record_batch(posts, self.sim.now)
+        for (block, _, _), entry in zip(posts, entries):
+            block.durable_id = entry.entry_id
+        self._after_append(len(entries))
+        return entries
+
     def resolve(self, entry_id: tuple[int, int], status: str) -> bool:
         """Handler-side ack (``delivered``) or §7.2 notice (``noticed``)."""
         if self.outbox.resolve(entry_id, status):
@@ -167,8 +185,8 @@ class NodeStore:
     # checkpointing
     # ==================================================================
 
-    def _after_append(self) -> None:
-        if self.enabled and self.checkpoints.note_append():
+    def _after_append(self, n: int = 1) -> None:
+        if self.enabled and self.checkpoints.note_append(n):
             self.checkpoint()
 
     def checkpoint(self) -> int:

@@ -87,6 +87,32 @@ class Outbox:
         self.recorded += 1
         return entry
 
+    def record_batch(self, posts: list[tuple["EventBlock", str, int | None]],
+                     now: float) -> list[OutboxEntry]:
+        """Journal ``(block, kind, dst)`` posts as **one commit unit**.
+
+        Group-commit for fan-out: a group-target post journals one
+        ``post`` record per member block, but the whole fan-out is a
+        single commit (:meth:`NodeJournal.append_batch`). Entry ids and
+        LSNs are assigned exactly as consecutive :meth:`record` calls
+        would assign them, so recovery replay is indistinguishable.
+        """
+        entries = []
+        ops = []
+        for block, kind, dst in posts:
+            self._next_seq += 1
+            entry_id = (self.journal.node_id, self._next_seq)
+            entries.append(OutboxEntry(entry_id=entry_id, block=block,
+                                       kind=kind, dst=dst, created_at=now))
+            ops.append((REC_POST, {"entry_id": entry_id, "kind": kind,
+                                   "dst": dst, "event": block.event,
+                                   "block": block}))
+        for entry, record in zip(entries, self.journal.append_batch(ops)):
+            entry.lsn = record.lsn
+            self._pending[entry.entry_id] = entry
+            self.recorded += 1
+        return entries
+
     def resolve(self, entry_id: tuple[int, int], status: str) -> bool:
         """Journal the ack and retire the entry; False if not pending."""
         entry = self._pending.pop(entry_id, None)

@@ -22,6 +22,8 @@ def make_pair(plan=None, **channel_kw):
     def endpoint(node):
         def deliver(msg):
             ch = channels[node]
+            if msg.ack is not None:  # piggybacked cumulative ack
+                ch.on_cum_ack(msg.src, msg.ack)
             if msg.mtype == MSG_REL_ACK:
                 ch.on_ack(msg)
                 return
@@ -96,7 +98,7 @@ class TestReliableChannel:
         plan.partition({0}, {1})
         sim, fabric, channels, delivered = make_pair(plan)
         channels[0].send(Message(src=0, dst=1, mtype="x", payload="old"))
-        seq_before = channels[0]._next_seq
+        seq_before = channels[0].next_seq_for(1)
         channels[0].reset()
         sim.run()
         assert channels[0].stats()["pending"] == 0
@@ -104,7 +106,7 @@ class TestReliableChannel:
         channels[0].send(Message(src=0, dst=1, mtype="x", payload="new"))
         sim.run()
         assert delivered == [(1, "new")]
-        assert channels[0]._next_seq > seq_before
+        assert channels[0].next_seq_for(1) > seq_before
 
     def test_dedup_survives_very_late_duplicate(self):
         sim, fabric, channels, delivered = make_pair(dedup_window=4)
