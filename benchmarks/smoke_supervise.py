@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quick-mode handler-supervision smoke check for CI.
+
+Runs the E11 sweep (seconds), asserts the supervision guarantees —
+every chaos post executed once, noticed, or quarantined with zero
+wedged handlers under injected hang/raise/poison faults; durable posts
+exactly-once-or-quarantined; buddy-breaker delivery totals identical
+on/off with the supervised mean stall at most half the bare one — plus
+same-seed determinism, and emits ``BENCH_supervise.json`` at the repo
+root.
+
+Run:  PYTHONPATH=src python benchmarks/smoke_supervise.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from bench_e11_supervise import (  # noqa: E402
+    REPO_ROOT,
+    assert_supervise_shape,
+)
+from repro.bench.harness import emit_json  # noqa: E402
+from repro.bench.supervise import (  # noqa: E402
+    SuperviseSpec,
+    deterministic_view,
+    run_handler_faults,
+    run_supervise_sweep,
+)
+
+
+def main() -> None:
+    spec = SuperviseSpec(seed=7, posts=60, buddy_posts=40)
+    table, results = run_supervise_sweep(spec)
+    assert_supervise_shape(results)
+    probe = SuperviseSpec(seed=19, posts=40)
+    first = deterministic_view(run_handler_faults(probe, supervised=True,
+                                                  durable=True))
+    again = deterministic_view(run_handler_faults(probe, supervised=True,
+                                                  durable=True))
+    assert first == again, "same-seed supervised runs must be bit-identical"
+    emit_json(table, REPO_ROOT / "BENCH_supervise.json",
+              experiment="supervise", seed=spec.seed, posts=spec.posts,
+              buddy_posts=spec.buddy_posts, hang_rate=spec.hang_rate,
+              raise_rate=spec.raise_rate, poison_rate=spec.poison_rate,
+              drop_rate=spec.drop_rate, crash_period=spec.crash_period,
+              quick=True,
+              results={w: {m: deterministic_view(r)
+                           for m, r in modes.items()}
+                       for w, modes in results.items()})
+    print(table.render())
+    faults = results["handler-faults"]
+    buddy = results["buddy-breaker"]
+    print(f"\nsmoke OK: accounted {faults['off']['accounted_rate']} -> "
+          f"{faults['on']['accounted_rate']}, hung "
+          f"{faults['off']['hung_handlers']} -> "
+          f"{faults['on']['hung_handlers']}; buddy mean stall "
+          f"{buddy['off']['mean_latency']}s -> "
+          f"{buddy['on']['mean_latency']}s; same-seed runs bit-identical")
+
+
+if __name__ == "__main__":
+    main()

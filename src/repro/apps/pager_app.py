@@ -81,7 +81,6 @@ def run_pager_workload(cluster, faulters: int = 4, keys_per_thread: int = 4,
     merged = 0
     if private_copies:
         segment = cluster.dsm.segment_of(region_cap.oid)
-        pager_obj = cluster.get_object(pager_cap)
         for page in segment.pages:
             if page.private_copies:
                 driver = cluster.spawn(pager_cap, "merge", region_cap.oid,

@@ -192,7 +192,7 @@ def run_doct(seed: int = 0) -> list[ScenarioResult]:
     # 1 & 4: two unrelated applications' threads in one shared object,
     # each with its own thread-based handler.
     t_app1 = cluster.spawn(shared, "work", "app1", hits, at=0)
-    t_app2 = cluster.spawn(shared, "work", "app2", hits, at=2)
+    cluster.spawn(shared, "work", "app2", hits, at=2)
     cluster.run(until=0.1)
     cluster.raise_event("POKE", t_app1.tid, from_node=1)
     cluster.run(until=0.5)
@@ -226,8 +226,8 @@ def run_doct(seed: int = 0) -> list[ScenarioResult]:
     # 5: group delivery.
     hits3: list[str] = []
     gid = cluster.new_group()
-    members = [cluster.spawn(shared, "work", f"m{i}", hits3, at=i,
-                             group=gid) for i in range(3)]
+    for i in range(3):
+        cluster.spawn(shared, "work", f"m{i}", hits3, at=i, group=gid)
     cluster.run(until=3.0)
     cluster.raise_event("POKE", gid, from_node=0)
     cluster.run(until=4.0)

@@ -35,20 +35,52 @@ from repro.bench.harness import Table
 CHAOS_EVENT = "CHAOS"
 
 
+class ChaosHandlerFault(Exception):
+    """The injected handler bug (raise / poison faults)."""
+
+
+def _inject_fault(kind: str | None, pid: Any, tripped: set,
+                  fault_counts: dict[str, int]) -> bool:
+    """Shared fault gate for both target kinds; runs before the handler
+    records its execution.
+
+    Returns True when the handler should *hang* after recording. Raise
+    faults are transient (first attempt only — a retried run succeeds);
+    poison faults raise on every attempt, so only quarantine ends them.
+    """
+    if kind == "poison":
+        fault_counts["poison"] += 1
+        raise ChaosHandlerFault(f"poison post {pid}")
+    if kind == "raise" and pid not in tripped:
+        tripped.add(pid)
+        fault_counts["raise"] += 1
+        raise ChaosHandlerFault(f"transient fault on post {pid}")
+    if kind == "hang":
+        fault_counts["hang"] += 1
+        return True
+    return False
+
+
 class ChaosTarget(DistObject):
     """Long-lived thread body absorbing chaos posts.
 
     The handler records its execution *first*, so a crash that kills the
     thread mid-handler still counts the run (the invariant is at-most-once
     execution, and the raiser may additionally get a notice for the same
-    post — an honest crash race, not a bug).
+    post — an honest crash race, not a bug). Injected faults fire
+    *before* the record (except hang, which records then never returns —
+    the watchdog's cancellation must not un-count a run that happened).
     """
 
     @entry
-    def serve(self, ctx, executions, hold):
+    def serve(self, ctx, executions, hold, faults, tripped, fault_counts):
         def on_chaos(hctx, block):
             pid = block.user_data
+            hang = _inject_fault(faults.get(pid), pid, tripped,
+                                 fault_counts)
             executions[pid] = executions.get(pid, 0) + 1
+            if hang:
+                yield hctx.sleep(1e9)
             yield hctx.compute(1e-6)
             return Decision.RESUME
 
@@ -76,13 +108,22 @@ class DurableChaosTarget(DistObject):
     posts arrive, or they would hit the OBJ_REJECT default.
     """
 
-    def __init__(self, executions):
+    def __init__(self, executions, faults=None, tripped=None,
+                 fault_counts=None):
         super().__init__()
         self.executions = executions
+        # identity matters: the harness fills this dict after creation
+        self.faults = faults if faults is not None else {}
+        self.tripped = tripped if tripped is not None else set()
+        self.fault_counts = fault_counts if fault_counts is not None else {}
 
     def on_chaos(self, ctx, block):
         pid = block.user_data
+        hang = _inject_fault(self.faults.get(pid), pid, self.tripped,
+                             self.fault_counts)
         self.executions[pid] = self.executions.get(pid, 0) + 1
+        if hang:
+            yield ctx.sleep(1e9)
         yield ctx.compute(5e-3)
 
 
@@ -123,6 +164,15 @@ class ChaosSpec:
     ack_delay: float = 1e-3
     ack_piggyback: bool = True
     journal_group_commit: bool = True
+    #: handler-fault injection rates by kind ("hang" / "raise" /
+    #: "poison"); None = healthy handlers, the pre-supervision behaviour
+    handler_faults: dict[str, float] | None = None
+    #: supervision knobs (E11); all-defaults = supervision off
+    handler_deadline: float | None = None
+    handler_retries: int = 0
+    breaker_threshold: int | None = None
+    poison_threshold: int | None = None
+    heartbeat_interval: float | None = None
 
     @property
     def active_time(self) -> float:
@@ -151,6 +201,15 @@ class ChaosReport:
     virtual_time: float
     #: cluster-wide store counters (all zeros for non-durable runs)
     durability: dict[str, int] = field(default_factory=dict)
+    #: post ids quarantined in a dead-letter queue (supervision runs)
+    quarantined: set[int] = field(default_factory=set)
+    #: handler executions still wedged at end of run (must be 0 when the
+    #: watchdog is armed; the unsupervised contrast rows show the hangs)
+    hung_handlers: int = 0
+    #: supervisor / failure-detector / dead-letter counters
+    supervision: dict[str, int] = field(default_factory=dict)
+    #: injected handler faults actually hit, by kind
+    handler_fault_counts: dict[str, int] = field(default_factory=dict)
     #: one row per recovery replay (node, at, replayed, recovery_time,
     #: restored_objects, pending_redelivery) — the raw material for the
     #: durability bench; derived from state already hashed by ``digest``
@@ -167,10 +226,11 @@ class ChaosReport:
 
     @property
     def accounted_rate(self) -> float:
-        """Fraction of posts that executed or surfaced a notice (must be
-        1.0: the zero-hang guarantee)."""
+        """Fraction of posts that executed, surfaced a notice, or were
+        quarantined (must be 1.0: the zero-lost-or-hung guarantee)."""
         ok = sum(1 for pid in range(self.spec.posts)
-                 if self.executions.get(pid, 0) == 1 or pid in self.notices)
+                 if self.executions.get(pid, 0) == 1 or pid in self.notices
+                 or pid in self.quarantined)
         return ok / self.spec.posts if self.spec.posts else 1.0
 
     @property
@@ -202,23 +262,31 @@ def _check_invariants(spec: ChaosSpec, executions: dict[int, int],
                       notices: set[int],
                       probe_executions: dict[int, int],
                       n_probes: int,
-                      durability: dict[str, int] | None = None) -> list[str]:
+                      durability: dict[str, int] | None = None,
+                      quarantined: frozenset | set = frozenset(),
+                      hung_handlers: int = 0) -> list[str]:
     violations = []
     for pid in range(spec.posts):
         ran = executions.get(pid, 0)
         if ran > 1:
             violations.append(
                 f"post {pid}: handler executed {ran} times (duplicate run)")
+        if pid in quarantined and ran != 0:
+            violations.append(
+                f"post {pid}: quarantined after executing "
+                f"(double accounting)")
         if spec.durable:
             # Durable posts to persistent objects have no notice escape
-            # hatch: every journaled post must execute, exactly once.
-            if ran != 1:
+            # hatch: every journaled post must execute exactly once — or
+            # be quarantined by the poison policy, never silently lost.
+            if ran != 1 and pid not in quarantined:
                 violations.append(
                     f"post {pid}: durable post executed {ran} times "
                     f"(journaled post lost)")
-        elif ran == 0 and pid not in notices:
+        elif ran == 0 and pid not in notices and pid not in quarantined:
             violations.append(
-                f"post {pid}: neither executed nor noticed (lost/hung)")
+                f"post {pid}: neither executed, noticed nor quarantined "
+                f"(lost/hung)")
     for pid in range(n_probes):
         ran = probe_executions.get(pid, 0)
         if ran != 1:
@@ -230,6 +298,10 @@ def _check_invariants(spec: ChaosSpec, executions: dict[int, int],
             violations.append(
                 f"outbox not drained: {durability['pending']} journaled "
                 f"posts still pending at end of run")
+    if hung_handlers:
+        violations.append(
+            f"{hung_handlers} handler execution(s) still wedged at end "
+            f"of run")
     return violations
 
 
@@ -246,6 +318,11 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
         replay_cost=spec.replay_cost,
         ack_delay=spec.ack_delay, ack_piggyback=spec.ack_piggyback,
         journal_group_commit=spec.journal_group_commit,
+        handler_deadline=spec.handler_deadline,
+        handler_retries=spec.handler_retries,
+        breaker_threshold=spec.breaker_threshold,
+        poison_threshold=spec.poison_threshold,
+        heartbeat_interval=spec.heartbeat_interval,
         rpc_default_timeout=0.5, trace_net=False))
     cluster.register_event(CHAOS_EVENT)
     sim, faults = cluster.sim, cluster.fabric.faults
@@ -264,6 +341,19 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
 
     cluster.events.on_undeliverable = on_undeliverable
 
+    # Quarantine is accounted the moment it happens: the dead-letter
+    # queue itself is volatile kernel memory in non-durable runs, so a
+    # later crash of the quarantining node may wipe the entry — but the
+    # post's *outcome* (quarantined, traced, counted) already happened.
+    quarantined: set[int] = set()
+
+    def on_quarantine(dead: Any) -> None:
+        if (dead.block.event == CHAOS_EVENT
+                and not isinstance(dead.block.user_data, tuple)):
+            quarantined.add(dead.block.user_data)
+
+    cluster.events.on_quarantine = on_quarantine
+
     # One target per non-raiser node. Default mode: a long-lived thread,
     # spawned on its home node so it never migrates (in-flight thread
     # state is not what this harness stresses). Durable mode: a
@@ -272,9 +362,14 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
     # the zero-lost-posts guarantee. Node 0 raises and never crashes.
     target_nodes = list(range(1, spec.n_nodes))
     slots: dict[int, Any] = {}
+    #: pid -> injected fault kind; shared mutable state for the targets
+    fault_kinds: dict[int, str] = {}
+    tripped: set[int] = set()
+    fault_counts = {"hang": 0, "raise": 0, "poison": 0}
     if spec.durable:
         caps = {node: cluster.create_object(DurableChaosTarget, executions,
-                                            node=node)
+                                            fault_kinds, tripped,
+                                            fault_counts, node=node)
                 for node in target_nodes}
         for node in target_nodes:
             cluster.kernels[node].objects.register_object_handler(
@@ -283,6 +378,7 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
         caps = {node: cluster.create_object(ChaosTarget, node=node)
                 for node in target_nodes}
         slots = {node: cluster.spawn(caps[node], "serve", executions, 1e9,
+                                     fault_kinds, tripped, fault_counts,
                                      at=node) for node in target_nodes}
     cluster.run(until=0.1)  # fault-free setup: handlers attach
 
@@ -294,6 +390,20 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
 
     t0 = cluster.now
     post_targets = [rng.choice(target_nodes) for _ in range(spec.posts)]
+    if spec.handler_faults:
+        # Same seeded stream, drawn only when the knob is on — with it
+        # off the draw sequence (and so the whole run) is unchanged.
+        hang = spec.handler_faults.get("hang", 0.0)
+        raise_r = spec.handler_faults.get("raise", 0.0)
+        poison = spec.handler_faults.get("poison", 0.0)
+        for pid in range(spec.posts):
+            roll = rng.random()
+            if roll < hang:
+                fault_kinds[pid] = "hang"
+            elif roll < hang + raise_r:
+                fault_kinds[pid] = "raise"
+            elif roll < hang + raise_r + poison:
+                fault_kinds[pid] = "poison"
 
     def fire_post(pid: int, node: int) -> None:
         target = caps[node] if spec.durable else slots[node].tid
@@ -318,7 +428,8 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
         # they persist through the crash and need no respawn.
         if not spec.durable:
             slots[node] = cluster.spawn(caps[node], "serve", executions,
-                                        1e9, at=node)
+                                        1e9, fault_kinds, tripped,
+                                        fault_counts, at=node)
 
     if spec.crash_period is not None:
         t = spec.crash_period
@@ -351,7 +462,8 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
             cluster.recover_node(node)
             if not spec.durable:
                 slots[node] = cluster.spawn(caps[node], "serve", executions,
-                                            1e9, at=node)
+                                            1e9, fault_kinds, tripped,
+                                            fault_counts, at=node)
     cluster.run(until=cluster.now + 0.2)
 
     # Probes flow through the same chaos handler, which writes into
@@ -381,6 +493,15 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
          for kernel in cluster.kernels.values()
          for row in kernel.store.recovery_log),
         key=lambda row: (row["at"], row["node"]))
+    # A handler execution still in progress after the settle window is a
+    # hang the supervision layer failed to bound: a live surrogate stuck
+    # in its handler frame, or an object-event thread wedged mid-serve.
+    hung_handlers = sum(
+        1 for t in cluster.live_threads.values()
+        if t.alive and t.frames
+        and t.frames[0].entry.startswith("handler:"))
+    hung_handlers += sum(kernel.objects.serving
+                         for kernel in cluster.kernels.values())
     report = ChaosReport(
         spec=spec, executions=executions, notices=notices,
         probe_executions=probe_executions, crashes=crashes,
@@ -390,10 +511,13 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
         dead_targets=cluster.events.dead_targets,
         undeliverable=cluster.events.undeliverable,
         p99_latency=p99, virtual_time=cluster.now,
-        durability=durability, recoveries=recoveries)
+        durability=durability, recoveries=recoveries,
+        quarantined=quarantined, hung_handlers=hung_handlers,
+        supervision=cluster.supervision_stats(),
+        handler_fault_counts=dict(fault_counts))
     report.violations = _check_invariants(
         spec, executions, notices, probe_executions, len(target_nodes),
-        durability)
+        durability, quarantined, hung_handlers)
     return report
 
 

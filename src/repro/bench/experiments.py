@@ -84,8 +84,8 @@ def run_table1() -> Table:
         probe = cluster.create_object(Probe, node=1)
         victim = cluster.spawn(sink, "absorb", "tid-target", at=3)
         gid = cluster.new_group()
-        members = [cluster.spawn(sink, "absorb", f"g{i}", at=i, group=gid)
-                   for i in range(3)]
+        for i in range(3):
+            cluster.spawn(sink, "absorb", f"g{i}", at=i, group=gid)
         cluster.run(until=0.1)
         return cluster, hits, sink, probe, victim, gid
 
@@ -139,7 +139,7 @@ def _measure_posts(cluster, thread, posts: int,
     msgs = (cluster.fabric.stats.count_prefix("locate.")
             - before_msgs) / posts
     samples = cluster.events.delivery_latencies.last(posts)
-    latency = sum(l for _, l in samples) / max(1, len(samples))
+    latency = sum(lat for _, lat in samples) / max(1, len(samples))
     return msgs, latency
 
 
@@ -267,8 +267,8 @@ def run_e5(worker_counts=(2, 4, 8, 16), n_nodes: int = 8) -> Table:
         report = termination_report(cluster, rig.gid,
                                     caps=[rig.root_obj, rig.worker_obj])
         manager = cluster.get_object(rig.manager_cap)
-        leaked = sum(1 for l in manager._locks.values()
-                     if l.holder is not None)
+        leaked = sum(1 for lk in manager._locks.values()
+                     if lk.holder is not None)
         table.add(workers, group_size, len(report["surviving_members"]),
                   len(report["orphans"]), leaked,
                   len(report["aborted_oids"]),
@@ -441,7 +441,6 @@ def run_ablations() -> Table:
     for notify_abort in (True, False):
         cluster = build_cluster(n_nodes=4,
                                 notify_abort_on_unwind=notify_abort)
-        rig_cluster = cluster
         from repro.bench.workloads import CtrlCWorkload
         from repro.locks import LockManager
         mgr = cluster.create_object(LockManager, node=3)

@@ -68,7 +68,7 @@ class Segment:
         self._field_page: dict[str, int] = {}
         if pageable:
             if n_pages < 1:
-                raise SegmentError(f"pageable segment needs >= 1 page")
+                raise SegmentError("pageable segment needs >= 1 page")
             self.pages = [Page(i, page_size) for i in range(n_pages)]
         else:
             fields = dict(fields or {})

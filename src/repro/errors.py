@@ -147,6 +147,34 @@ class HandlerContextError(EventError):
     """A handler's execution context could not be established."""
 
 
+class HandlerTimeout(EventError):
+    """A supervised handler exceeded its watchdog deadline.
+
+    The surrogate thread running the handler is cancelled, the chain
+    falls through to the next registration, and a ``HANDLER_TIMEOUT``
+    system event is raised on the owning thread (if it subscribed).
+    """
+
+
+class BuddyUnavailableError(EventError):
+    """A buddy invocation was failed fast by the failure detector.
+
+    The buddy object's home node has missed ``suspect_after``
+    consecutive heartbeats; rather than waiting out the full
+    retransmission give-up, the invocation fails immediately and feeds
+    the circuit breaker / retry policy.
+    """
+
+
+class EventQuarantinedError(EventError):
+    """An event block was moved to the dead-letter queue.
+
+    A synchronous raiser whose event's entire handler chain failed
+    ``poison_threshold`` times is resumed with this error instead of
+    hanging; the block is inspectable via ``cluster.dead_letters()``.
+    """
+
+
 class LocateError(EventError):
     """A thread-location strategy failed to find the target thread."""
 

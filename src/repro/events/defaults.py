@@ -35,6 +35,8 @@ _THREAD_DEFAULTS: dict[str, Decision] = {
     # Notification that an async raise hit a dead thread (§7.2); harmless
     # if the application did not subscribe.
     names.TARGET_DEAD: Decision.RESUME,
+    # A handler blowing its watchdog deadline is survivable by default.
+    names.HANDLER_TIMEOUT: Decision.RESUME,
 }
 
 #: Default decision for unhandled *user* events delivered to a thread.
@@ -63,6 +65,7 @@ _OBJECT_DEFAULTS: dict[str, str] = {
     names.TIMER: OBJ_IGNORE,
     names.INTERRUPT: OBJ_IGNORE,
     names.TARGET_DEAD: OBJ_IGNORE,
+    names.HANDLER_TIMEOUT: OBJ_IGNORE,
 }
 
 

@@ -22,7 +22,11 @@ import itertools
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import (
+    BuddyUnavailableError,
     DeadThreadError,
+    EventQuarantinedError,
+    HandlerTimeout,
+    NodeCrashedError,
     RpcTimeout,
     EventError,
     HandlerContextError,
@@ -35,6 +39,7 @@ from repro.errors import (
 from repro.events import defaults, names
 from repro.events.block import EventBlock
 from repro.events.handlers import Decision, HandlerContext, HandlerRegistration
+from repro.events.supervise import HandlerSupervisor
 from repro.events.locate import (
     MSG_BCAST_POST,
     MSG_BCAST_REPLY,
@@ -77,6 +82,12 @@ MSG_POST_OBJECT = "event.post-object"
 MSG_RESUME = "event.resume"
 
 _proc_names = itertools.count(1)
+
+#: buddy-invocation failures worth retrying / feeding the breaker: the
+#: handler object's node crashed, the reliable send gave up, an RPC leg
+#: timed out, or the failure detector failed the call fast
+RETRYABLE_INVOKE_ERRORS = (NodeCrashedError, UndeliverableError, RpcTimeout,
+                           BuddyUnavailableError)
 
 
 class EventManager:
@@ -123,10 +134,20 @@ class EventManager:
         self.dead_targets = 0
         #: posts that failed with a give-up/deadline (crash or partition)
         self.undeliverable = 0
+        #: handler surrogates that raised (folded into PROPAGATE)
+        self.handler_failures = 0
+        #: watchdog / breaker / dead-letter policy (inert at defaults)
+        self.supervisor = HandlerSupervisor(cluster)
         #: observer hook ``(block, target) -> None`` invoked whenever a
         #: post fails (dead target, give-up, deadline); the chaos harness
         #: uses it to account every raiser notice
         self.on_undeliverable: Any = None
+        #: observer hook ``(dead_letter) -> None`` invoked whenever a
+        #: block enters a dead-letter queue; quarantine is an observable
+        #: outcome even when the (volatile) queue later dies with its
+        #: node, so accounting harnesses record it here, not by scanning
+        #: queues at end of run
+        self.on_quarantine: Any = None
         #: per-delivery (event, raise->deliver virtual latency) samples —
         #: a bounded reservoir so long runs stop accumulating memory
         self.delivery_latencies = LatencyReservoir(
@@ -437,13 +458,24 @@ class EventManager:
         # else: the thread keeps waiting for whatever it was blocked on.
 
     def _run_chain(self, thread: DThread, block: EventBlock,
-                   chain: list[HandlerRegistration], index: int) -> None:
+                   chain: list[HandlerRegistration], index: int,
+                   errors: int = 0,
+                   last_error: BaseException | None = None) -> None:
         if not thread.alive:
             self._complete_sync(block, None,
                                 DeadThreadError(f"{thread.tid} died"),
                                 from_node=thread.current_node)
             return
         if index >= len(chain):
+            # Poison policy: an *entire* chain of failures (every
+            # handler raised — watchdog timeouts excluded, since a
+            # cancelled handler may have half-executed and a re-run
+            # would double its side effects) retries with backoff and
+            # eventually quarantines. Deliberate PROPAGATE decisions
+            # and breaker skips are not failures.
+            if chain and errors >= len(chain) and self._chain_run_failed(
+                    thread, block, last_error):
+                return
             decision = defaults.thread_default(block.event)
             self._apply_decision(thread, block, decision, None)
             return
@@ -457,16 +489,72 @@ class EventManager:
                 decision=decision.value,
                 error=repr(error) if error else None)
             if decision is Decision.PROPAGATE:
-                self._run_chain(thread, block, chain, index + 1)
+                failed = errors + (1 if error is not None and not
+                                   isinstance(error, HandlerTimeout) else 0)
+                self._run_chain(thread, block, chain, index + 1, failed,
+                                error if error is not None else last_error)
             else:
                 self._apply_decision(thread, block, decision, value)
 
         self._execute_registration(thread, registration, block, done)
 
+    def _chain_run_failed(self, thread: DThread, block: EventBlock,
+                          error: BaseException | None) -> bool:
+        """Every handler in the chain failed; retry or quarantine.
+
+        Returns False when the poison policy is off (the chain falls
+        through to the default decision, the pre-supervision behaviour).
+        """
+        action, count = self.supervisor.chain_failed(block)
+        if action is None:
+            return False
+        if action == "retry":
+            self.supervisor.counters["chain_retries"] += 1
+            self.cluster.tracer.emit("supervise", "chain-retry",
+                                     event=block.event, tid=str(thread.tid),
+                                     attempt=count)
+            delay = self.cluster.config.handler_backoff * (2 ** (count - 1))
+            self.cluster.sim.call_after(delay, self._retry_chain, thread,
+                                        block)
+            return True
+        self._quarantine_thread_block(thread, block, error, count)
+        return True
+
+    def _retry_chain(self, thread: DThread, block: EventBlock) -> None:
+        if not thread.alive or thread.delivering_block is not block:
+            # The thread died while the retry was pending (thread_gone
+            # already issued the §7.2 notice) or handling moved on.
+            return
+        chain = thread.attributes.handlers_for(block.event)
+        self._run_chain(thread, block, chain, 0)
+
+    def _quarantine_thread_block(self, thread: DThread, block: EventBlock,
+                                 error: BaseException | None,
+                                 failures: int) -> None:
+        """The block hit ``poison_threshold``: dead-letter it on the
+        delivering node and let the thread move on."""
+        node = thread.current_node
+        kernel = self.cluster.kernels[node]
+        self.supervisor.counters["quarantined"] += 1
+        kernel.dead_letters.add(block, "poison", error=error,
+                                failures=failures)
+        if block.durable_id is not None:
+            # Resolve the origin's outbox as quarantined (not delivered)
+            # and strip the id so _apply_decision does not re-ack.
+            kernel.store.post_quarantined(block.durable_id)
+            block.durable_id = None
+        self._complete_sync(block, None, EventQuarantinedError(
+            f"{block.event} quarantined after {failures} chain failures"),
+            from_node=node)
+        block.synchronous = False  # the raiser has been resumed
+        decision = defaults.thread_default(block.event)
+        self._apply_decision(thread, block, decision, None)
+
     def _apply_decision(self, thread: DThread, block: EventBlock,
                         decision: Decision, value: Any) -> None:
         # Handling concluded: the block is no longer at risk of dying
-        # with the thread.
+        # with the thread, and its poison tally (if any) is forgiven.
+        self.supervisor.clear_failures(block)
         thread.delivering_block = None
         if block.durable_id is not None:
             # The chain ran to a decision: acknowledge to the origin's
@@ -510,25 +598,89 @@ class EventManager:
             current_obj = thread.current_object
             self.cluster.sim.call_after(
                 cfg.surrogate_cost, self._run_procedure_surrogate, thread,
-                fn, current_obj, block, node, done)
+                fn, current_obj, block, node, done,
+                self.supervisor.effective_deadline(registration))
             return
-        # ATTACHING / BUDDY: unscheduled invocation of a handler method.
-        obj = self.cluster.find_object(registration.target_oid)
+        # ATTACHING / BUDDY: unscheduled invocation of a handler method,
+        # supervised (breaker admission, fast-fail, retry with backoff).
+        self._execute_invoke(thread, registration, block, node, done, 0)
+
+    def _execute_invoke(self, thread: DThread,
+                        registration: HandlerRegistration,
+                        block: EventBlock, node: int, done,
+                        attempt: int) -> None:
+        cfg = self.cluster.config
+        tracer = self.cluster.tracer
+        oid = registration.target_oid
+        if not self.supervisor.breaker_allows(tracer, oid, block.event,
+                                              self.cluster.sim.now):
+            # Open breaker: skip this registration, fall down the chain.
+            done(Decision.PROPAGATE, None, None)
+            return
+        obj = self.cluster.find_object(oid)
         if obj is None:
             done(Decision.PROPAGATE, None, UnknownObjectError(
-                f"handler object {registration.target_oid} is gone"))
+                f"handler object {oid} is gone"))
             return
         try:
             obj.handler_fn(registration.fn_name)
         except BaseException as exc:  # noqa: BLE001 - bad registration
             done(Decision.PROPAGATE, None, exc)
             return
+        kernel = self.cluster.kernels.get(node)
+        if (kernel is not None and obj.cap.home != node
+                and kernel.failure.is_suspected(obj.cap.home)):
+            # Suspected buddy node: fail fast instead of waiting out the
+            # reliable channel's give-up; feeds the retry/breaker policy.
+            self.supervisor.counters["fast_fails"] += 1
+            tracer.emit("supervise", "fast-fail", oid=oid,
+                        event=block.event, home=obj.cap.home)
+            self._invoke_failed(thread, registration, block, node, done,
+                                attempt, BuddyUnavailableError(
+                                    f"node {obj.cap.home} is suspected"))
+            return
+
+        def on_done(decision: Decision, value: Any,
+                    error: BaseException | None) -> None:
+            if error is not None and isinstance(error,
+                                                RETRYABLE_INVOKE_ERRORS):
+                self._invoke_failed(thread, registration, block, node,
+                                    done, attempt, error)
+                return
+            if error is None:
+                self.supervisor.invoke_succeeded(tracer, oid, block.event)
+            done(decision, value, error)
+
         self.cluster.sim.call_after(
             cfg.surrogate_cost, self._run_invoke_surrogate, thread, obj,
-            registration.fn_name, block, node, done)
+            registration.fn_name, block, node, on_done,
+            self.supervisor.effective_deadline(registration))
+
+    def _invoke_failed(self, thread: DThread,
+                       registration: HandlerRegistration, block: EventBlock,
+                       node: int, done, attempt: int,
+                       error: BaseException) -> None:
+        """A buddy invocation failed with a retryable error."""
+        cfg = self.cluster.config
+        self.supervisor.invoke_failed(self.cluster.tracer,
+                                      registration.target_oid, block.event,
+                                      self.cluster.sim.now)
+        if attempt < cfg.handler_retries:
+            self.supervisor.counters["handler_retries"] += 1
+            self.cluster.tracer.emit("supervise", "handler-retry",
+                                     oid=registration.target_oid,
+                                     event=block.event, attempt=attempt + 1,
+                                     error=repr(error))
+            delay = cfg.handler_backoff * (2 ** attempt)
+            self.cluster.sim.call_after(delay, self._execute_invoke, thread,
+                                        registration, block, node, done,
+                                        attempt + 1)
+            return
+        done(Decision.PROPAGATE, None, error)
 
     def _run_procedure_surrogate(self, thread: DThread, fn, current_obj,
-                                 block: EventBlock, node: int, done) -> None:
+                                 block: EventBlock, node: int, done,
+                                 deadline: float | None = None) -> None:
         """Per-thread-memory handler in the current object's context."""
 
         def body(ctx):
@@ -540,12 +692,13 @@ class EventManager:
         surrogate = self.cluster.invoker.adopt_loop_thread(
             node, body, f"handler:{block.event}", KIND_SURROGATE,
             attributes=thread.attributes, impersonate=thread.tid)
+        self._watch_surrogate(surrogate, thread, block, deadline)
         surrogate.completion.add_done_callback(
-            lambda fut: self._surrogate_done(fut, done))
+            lambda fut: self._surrogate_done(fut, done, thread, block))
 
     def _run_invoke_surrogate(self, thread: DThread, obj: "DistObject",
                               fn_name: str, block: EventBlock, node: int,
-                              done) -> None:
+                              done, deadline: float | None = None) -> None:
         """Attaching-object / buddy handler via unscheduled invocation."""
 
         def body(ctx):
@@ -557,14 +710,67 @@ class EventManager:
         surrogate = self.cluster.invoker.adopt_loop_thread(
             node, body, f"handler:{block.event}", KIND_SURROGATE,
             attributes=thread.attributes, impersonate=thread.tid)
+        self._watch_surrogate(surrogate, thread, block, deadline)
         surrogate.completion.add_done_callback(
-            lambda fut: self._surrogate_done(fut, done))
+            lambda fut: self._surrogate_done(fut, done, thread, block))
 
-    def _surrogate_done(self, fut: SimFuture[Any], done) -> None:
+    def _watch_surrogate(self, surrogate: DThread, thread: DThread,
+                         block: EventBlock,
+                         deadline: float | None) -> None:
+        """Arm the watchdog on one surrogate handler run."""
+        if deadline is None:
+            return
+
+        def expire() -> None:
+            if surrogate.completion.done or not surrogate.alive:
+                return
+            self.supervisor.counters["handler_timeouts"] += 1
+            self.cluster.tracer.emit("supervise", "handler-timeout",
+                                     event=block.event,
+                                     tid=str(thread.tid), deadline=deadline)
+            # Cancelling the surrogate fails its completion future with
+            # the timeout; _surrogate_done turns that into PROPAGATE so
+            # the chain falls through (LIFO order preserved).
+            self.cluster.invoker.destroy_thread_abrupt(
+                surrogate, HandlerTimeout(
+                    f"handler for {block.event} exceeded {deadline}s"))
+            self._raise_handler_timeout(thread, block, deadline)
+
+        self.cluster.sim.call_after(deadline, expire)
+
+    def _raise_handler_timeout(self, thread: DThread, block: EventBlock,
+                               deadline: float) -> None:
+        """Raise the HANDLER_TIMEOUT system event on the owning thread
+        (only when it subscribed — mirrors the TARGET_DEAD gating, so
+        unsupervised runs see zero extra notices)."""
+        if not thread.alive or block.event == names.HANDLER_TIMEOUT:
+            return
+        if not thread.attributes.handlers_for(names.HANDLER_TIMEOUT):
+            return
+        node = thread.current_node
+        notice = EventBlock(event=names.HANDLER_TIMEOUT, raiser_tid=None,
+                            raiser_node=node, target=thread.tid,
+                            user_data={"event": block.event,
+                                       "deadline": deadline},
+                            raised_at=self.cluster.sim.now)
+        self.enqueue_for_thread(node, thread.tid, notice)
+
+    def _surrogate_done(self, fut: SimFuture[Any], done,
+                        thread: DThread | None = None,
+                        block: EventBlock | None = None) -> None:
         if fut.failed or fut.cancelled:
             try:
                 fut.result()
             except BaseException as exc:  # noqa: BLE001
+                if not isinstance(exc, HandlerTimeout):
+                    # Timeouts have their own counter/trace; everything
+                    # else is a handler failure worth surfacing.
+                    self.handler_failures += 1
+                    self.cluster.tracer.emit(
+                        "event", "handler-error",
+                        event=block.event if block is not None else None,
+                        tid=str(thread.tid) if thread is not None else None,
+                        error=repr(exc))
                 done(Decision.PROPAGATE, None, exc)
             return
         decision, value = self._parse_decision(fut.result())
@@ -609,6 +815,17 @@ class EventManager:
                 origin.store.on_give_up(block.durable_id)
                 return
         self.undeliverable += 1
+        # Keep the block inspectable instead of dropping it after the
+        # §7.2-style notice: dead-letter it on the raiser's node.
+        # journal=False — this path exists in knobs-off configurations
+        # too and must not perturb durable runs' journal accounting.
+        origin = self.cluster.kernels.get(block.raiser_node or 0)
+        if origin is not None:
+            self.supervisor.counters["dead_letter_undeliverable"] += 1
+            origin.dead_letters.add(
+                block, "undeliverable",
+                error=f"object {cap.oid} on node {cap.home} unreachable",
+                journal=False)
         if self.on_undeliverable is not None:
             self.on_undeliverable(block, cap)
         self._complete_sync(block, None, UndeliverableError(
@@ -657,9 +874,18 @@ class EventManager:
             # Redelivered duplicate: already executed here (the applied
             # set re-acked it) or already queued for execution.
             return
-        obj = kernel.objects.get(oid)
         self.cluster.tracer.emit("event", "deliver-object",
                                  event=block.event, oid=oid, node=node)
+        self._run_object_post(node, block, oid)
+
+    def _run_object_post(self, node: int, block: EventBlock,
+                         oid: int) -> None:
+        """Execute one accepted object post (also the chain-retry entry:
+        a poison retry re-runs from here, past dedup)."""
+        kernel = self.cluster.kernels[node]
+        if kernel.crashed:
+            return  # crashed between acceptance and a scheduled retry
+        obj = kernel.objects.get(oid)
         if obj is None:
             # The object is gone for good (destroyed): the post is
             # definitively processed — ack so the origin stops retrying.
@@ -687,6 +913,35 @@ class EventManager:
                     error = exc
             else:
                 value = fut.result()
+            if error is not None and not isinstance(
+                    error, (HandlerTimeout, GeneratorExit)):
+                # Poison policy for object handlers. Timeouts excluded:
+                # the cancelled handler may have half-executed, so a
+                # re-run could double its side effects. GeneratorExit
+                # excluded: that is the node crashing mid-run, not a
+                # handler bug — recovery redelivery deals with it.
+                action, count = self.supervisor.chain_failed(block)
+                if action == "retry":
+                    self.supervisor.counters["chain_retries"] += 1
+                    self.cluster.tracer.emit(
+                        "supervise", "chain-retry", event=block.event,
+                        oid=oid, attempt=count)
+                    if block.durable_id is not None:
+                        # Retract the applied marker: if the node dies
+                        # during the backoff, the origin's redelivery
+                        # must re-run the handler, not be suppressed.
+                        kernel.store.unmark_applied(block.durable_id)
+                    delay = (self.cluster.config.handler_backoff
+                             * (2 ** (count - 1)))
+                    self.cluster.sim.call_after(delay, self._run_object_post,
+                                                node, block, oid)
+                    return  # no ack yet: the post is still in flight
+                if action == "quarantine":
+                    self._quarantine_object_block(node, block, oid, error,
+                                                  count)
+                    return
+            elif error is None:
+                self.supervisor.clear_failures(block)
             if block.event == names.DELETE and error is None:
                 kernel.objects.destroy(oid)
             if block.durable_id is not None:
@@ -694,6 +949,42 @@ class EventManager:
             self._complete_sync(block, value, error, from_node=node)
 
         done.add_done_callback(finished)
+
+    def _quarantine_object_block(self, node: int, block: EventBlock,
+                                 oid: int, error: BaseException,
+                                 failures: int) -> None:
+        """An object post hit ``poison_threshold``: dead-letter it on the
+        object's home node."""
+        kernel = self.cluster.kernels[node]
+        self.supervisor.counters["quarantined"] += 1
+        kernel.dead_letters.add(block, "poison", error=error,
+                                failures=failures)
+        if block.durable_id is not None:
+            # Resolve the origin's outbox as quarantined, not delivered.
+            kernel.store.post_quarantined(block.durable_id)
+            block.durable_id = None
+        self._complete_sync(block, None, EventQuarantinedError(
+            f"{block.event} to object {oid} quarantined after "
+            f"{failures} failures"), from_node=node)
+        block.synchronous = False  # the raiser has been resumed
+
+    def requeue(self, node: int, dead: Any) -> EventBlock:
+        """Re-post a dead letter as a fresh asynchronous block.
+
+        Fresh identity on purpose: the original block id / durable id
+        already sits in dedup windows and applied sets cluster-wide, so
+        reusing them would get the retry silently swallowed.
+        """
+        old = dead.block
+        fresh = EventBlock(event=old.event, raiser_tid=None,
+                           raiser_node=node, target=old.target,
+                           synchronous=False, user_data=old.user_data,
+                           raised_at=self.cluster.sim.now)
+        self.supervisor.counters["requeued"] += 1
+        self.cluster.tracer.emit("supervise", "requeue", event=old.event,
+                                 node=node, dl_id=dead.dl_id)
+        self._route(node, fresh, self._normalize_target(old.target))
+        return fresh
 
     def _object_default(self, node: int, obj: "DistObject",
                         block: EventBlock) -> None:
@@ -813,7 +1104,7 @@ class EventManager:
             return HandlerRegistration(
                 event=syscall.event, context=context, procedure=procedure,
                 attached_in_oid=(frame.obj.oid if frame.obj else None),
-                attached_at_node=frame.node)
+                attached_at_node=frame.node, deadline=syscall.deadline)
         if context is HandlerContext.BUDDY:
             if syscall.target is None:
                 raise EventError("buddy handler needs a target capability")
@@ -832,7 +1123,7 @@ class EventManager:
             event=syscall.event, context=context, fn_name=syscall.fn_name,
             target_oid=target_oid,
             attached_in_oid=(frame.obj.oid if frame.obj else None),
-            attached_at_node=frame.node)
+            attached_at_node=frame.node, deadline=syscall.deadline)
 
     # ==================================================================
     # exceptions as events (§3, §6.1)
@@ -893,7 +1184,8 @@ class EventManager:
             kernel.objects.run_object_handler(frame.obj, obj_handler, block,
                                               done_fut)
             done_fut.add_done_callback(
-                lambda fut: self._surrogate_done(fut, after_object_handler))
+                lambda fut: self._surrogate_done(fut, after_object_handler,
+                                                 thread, block))
         else:
             self._run_exception_chain(thread, block, chain, 0, exc, finish)
 

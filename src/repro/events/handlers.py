@@ -73,6 +73,9 @@ class HandlerRegistration:
         with the thread", §4.1).
     attached_in_oid / attached_at_node:
         Where the attachment happened (diagnostics and tests).
+    deadline:
+        Per-registration watchdog deadline (virtual seconds) overriding
+        the cluster-wide ``handler_deadline``; None inherits the config.
     """
 
     event: str
@@ -82,6 +85,7 @@ class HandlerRegistration:
     procedure: str | None = None
     attached_in_oid: int | None = None
     attached_at_node: int | None = None
+    deadline: float | None = None
     reg_id: int = field(default_factory=lambda: next(_reg_ids))
 
     def __post_init__(self) -> None:

@@ -36,11 +36,15 @@ SEGV = "SEGV"
 #: Delivered to the raiser of an asynchronous event whose target thread
 #: "has been destroyed" — §7.2 requires the sender be notified.
 TARGET_DEAD = "TARGET_DEAD"
+#: Raised on a thread whose handler exceeded its watchdog deadline; the
+#: offending surrogate was cancelled and the chain fell through. Only
+#: delivered when the thread attached a handler for it.
+HANDLER_TIMEOUT = "HANDLER_TIMEOUT"
 
 #: All predefined system events, in a stable order.
 SYSTEM_EVENTS = (
     TERMINATE, QUIT, ABORT, TIMER, VM_FAULT, INTERRUPT, DELETE,
-    DIV_ZERO, SEGV, TARGET_DEAD,
+    DIV_ZERO, SEGV, TARGET_DEAD, HANDLER_TIMEOUT,
 )
 
 #: System events every object is expected to accept even with no

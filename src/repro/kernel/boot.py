@@ -86,6 +86,10 @@ class Cluster:
             node.kernel.invoker = self.invoker
             node.kernel.events = self.events
             node.kernel.dsm = self.dsm
+        # Heartbeat failure detectors (inert unless heartbeat_interval
+        # is set; arming happens after wiring so beats can dispatch).
+        for node in self.nodes:
+            node.kernel.failure.start()
 
     # ------------------------------------------------------------------
     # messaging
@@ -142,6 +146,52 @@ class Cluster:
         totals: dict[str, int] = {}
         for kernel in self.kernels.values():
             for key, value in kernel.store.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    # ------------------------------------------------------------------
+    # handler supervision (dead letters, breakers, failure detection)
+    # ------------------------------------------------------------------
+
+    def dead_letters(self, node: int | None = None) -> list[Any]:
+        """Quarantined event blocks: one node's, or the whole cluster's
+        in (node, dl_id) order."""
+        if node is not None:
+            kernel = self.kernels.get(node)
+            if kernel is None:
+                raise KernelError(f"no node {node} in this cluster")
+            return kernel.dead_letters.entries()
+        out: list[Any] = []
+        for node_id in sorted(self.kernels):
+            out.extend(self.kernels[node_id].dead_letters.entries())
+        return out
+
+    def requeue_dead_letter(self, node: int, dl_id: int) -> bool:
+        """Take a dead letter off ``node``'s quarantine and re-post it.
+
+        The block is re-routed as a **fresh** asynchronous post (new
+        block id, no durable id) so receiver-side dedup — which already
+        saw the original — cannot swallow the retry. Returns False when
+        the id is unknown.
+        """
+        kernel = self.kernels.get(node)
+        if kernel is None:
+            raise KernelError(f"no node {node} in this cluster")
+        dead = kernel.dead_letters.take(dl_id)
+        if dead is None:
+            return False
+        self.events.requeue(node, dead)
+        return True
+
+    def supervision_stats(self) -> dict[str, int]:
+        """Supervisor counters plus cluster-wide detector / dead-letter
+        sums."""
+        totals = dict(self.events.supervisor.stats())
+        for kernel in self.kernels.values():
+            for key, value in kernel.failure.stats().items():
+                totals[key] = totals.get(key, 0) + value
+            for key, value in kernel.dead_letters.stats().items():
+                key = f"dead_letters_{key}"
                 totals[key] = totals.get(key, 0) + value
         return totals
 

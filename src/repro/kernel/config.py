@@ -158,6 +158,34 @@ class ClusterConfig:
     #: Virtual seconds charged per journal record replayed at recovery;
     #: redelivery and the recovery announcement wait this long.
     replay_cost: float = 2e-5
+    #: Handler supervision (all default off: zero extra simulator events
+    #: and byte-identical same-seed runs unless a knob is enabled).
+    #: Watchdog deadline (virtual seconds) for a supervised handler
+    #: execution; on expiry the surrogate is cancelled, the chain falls
+    #: through, and a HANDLER_TIMEOUT system event is raised on the
+    #: owning thread. Overridable per attach. None = no watchdog.
+    handler_deadline: float | None = None
+    #: Retries (with exponential backoff) for a buddy/remote handler
+    #: invocation that fails with a crash/give-up error. 0 = no retries.
+    handler_retries: int = 0
+    #: Base backoff delay (virtual seconds) for handler retries and
+    #: poison-chain re-runs; attempt k waits backoff * 2**k.
+    handler_backoff: float = 4e-3
+    #: Consecutive buddy-invocation failures that open the per-
+    #: (buddy-oid, event) circuit breaker. None = breakers disabled.
+    breaker_threshold: int | None = None
+    #: Virtual seconds an open breaker waits before letting one
+    #: half-open probe through.
+    breaker_reset: float = 0.25
+    #: Times an event's *entire* chain may fail before the block is
+    #: moved to the node's dead-letter queue. None = never quarantine.
+    poison_threshold: int | None = None
+    #: Failure-detector heartbeat period (virtual seconds); None
+    #: disables the detector (no heartbeat traffic at all).
+    heartbeat_interval: float | None = None
+    #: Missed heartbeats before a peer is suspected; suspicion fails
+    #: buddy posts fast instead of waiting out retransmission give-up.
+    suspect_after: int = 3
     trace_net: bool = True
     extra: dict = field(default_factory=dict)
 
@@ -204,9 +232,21 @@ class ClusterConfig:
             raise KernelError("max_retransmits and rpc_retries must be >= 0")
         if self.dedup_window < 1:
             raise KernelError("dedup_window must be >= 1")
-        for name in ("rpc_default_timeout", "post_deadline"):
+        for name in ("rpc_default_timeout", "post_deadline",
+                     "handler_deadline", "heartbeat_interval",
+                     "breaker_reset"):
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise KernelError(f"{name} must be positive or None")
+        for name in ("breaker_threshold", "poison_threshold"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise KernelError(f"{name} must be >= 1 or None")
+        if self.handler_retries < 0:
+            raise KernelError("handler_retries must be >= 0")
+        if self.handler_backoff < 0:
+            raise KernelError("handler_backoff must be non-negative")
+        if self.suspect_after < 1:
+            raise KernelError("suspect_after must be >= 1")
         if self.page_size < 1 or self.dsm_fields_per_page < 1:
             raise KernelError("page_size and dsm_fields_per_page must be >= 1")

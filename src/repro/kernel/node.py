@@ -13,6 +13,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import KernelError, NodeCrashedError
+from repro.events.supervise import DeadLetterQueue
+from repro.kernel.failure import MSG_HEARTBEAT, FailureDetector
 from repro.kernel.rpc import MSG_REPLY, MSG_REQUEST, RpcEngine
 from repro.kernel.tcb import LocationHintTable, ThreadTable
 from repro.kernel.timers import TimerService
@@ -52,6 +54,8 @@ class Kernel:
         # The journal lives in the *cluster* store: it is the simulated
         # durable medium, so crash() must not be able to touch it.
         self.store = NodeStore(self, cluster.store.journal(node_id))
+        self.failure = FailureDetector(self)
+        self.dead_letters = DeadLetterQueue(self)
         # Attached by the cluster builder:
         self.objects: Any = None   # repro.objects.manager.ObjectManager
         self.invoker: Any = None   # repro.objects.invocation.InvocationEngine
@@ -63,6 +67,7 @@ class Kernel:
             MSG_REPLY: self.rpc.on_reply,
             MSG_REL_ACK: self.reliable.on_ack,
             MSG_STORE_ACK: self.store.on_store_ack,
+            MSG_HEARTBEAT: self.failure.on_beat,
         }
         cluster.fabric.attach(node_id, self.deliver)
 
@@ -160,6 +165,8 @@ class Kernel:
         self.reliable.reset()
         self.objects.on_crash()
         self.store.on_crash()
+        self.failure.on_crash()
+        self.dead_letters.on_crash()
         self.rpc.fail_all(error)
         # Survivors observe the crash (fail-fast for calls in flight).
         for kernel in self.cluster.kernels.values():
@@ -186,6 +193,7 @@ class Kernel:
                              replayed=replayed)
         if self.config.durable_delivery:
             self.store.schedule_redelivery(replay_time)
+        self.failure.start()
 
 
 class Node:

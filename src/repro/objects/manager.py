@@ -14,7 +14,12 @@ from typing import TYPE_CHECKING, Any, Callable
 
 import inspect
 
-from repro.errors import NoSuchEntryError, ObjectError, UnknownObjectError
+from repro.errors import (
+    HandlerTimeout,
+    NoSuchEntryError,
+    ObjectError,
+    UnknownObjectError,
+)
 from repro.events.block import EventBlock
 from repro.events.handlers import ObjectHandlerRegistry
 from repro.kernel.config import (
@@ -42,6 +47,9 @@ class ObjectManager:
         self.handlers = ObjectHandlerRegistry()
         self._queue: Channel[Any] = Channel(kernel.sim)
         self._master: DThread | None = None
+        #: handler runs in progress right now (0 when idle) — lets the
+        #: chaos harness spot a wedged master / one-shot thread
+        self.serving = 0
         #: counters reported by experiment E3
         self.events_served = 0
         self.handler_threads_created = 0
@@ -160,6 +168,7 @@ class ObjectManager:
             self.kernel.tracer.emit("event", "queue-lost",
                                     event=block.event, node=self.node_id)
         self._master = None
+        self.serving = 0
         self.handlers.clear()
 
     # ------------------------------------------------------------------
@@ -228,6 +237,8 @@ class ObjectManager:
             self.kernel.store.mark_applied(block.durable_id)
         self.kernel.tracer.emit("event", "object-handler", oid=obj.oid,
                                 event=block.event, node=self.node_id)
+        self.serving += 1
+        watchdog = self._arm_watchdog(ctx._thread, obj, block, done)
         try:
             result = yield from fn(ctx, block)
         except BaseException as exc:  # noqa: BLE001 - handler crash is data
@@ -236,5 +247,48 @@ class ObjectManager:
         else:
             if not done.done:
                 done.resolve(result)
+        finally:
+            if watchdog is not None:
+                watchdog.cancel()
+            self.serving -= 1
         activation.obj = None
         activation.event_block = previous_block
+
+    def _arm_watchdog(self, thread: DThread, obj: DistObject,
+                      block: EventBlock, done: SimFuture[Any]):
+        """Watchdog over one object-handler run (``handler_deadline``).
+
+        A hung handler would otherwise wedge the node's master handler
+        thread, starving every later post to objects homed here. On
+        expiry the executing thread is destroyed, ``done`` fails with
+        :class:`~repro.errors.HandlerTimeout`, and a fresh master is
+        spawned if work is waiting. Returns the timer handle (None when
+        the knob is off — no timer, no extra simulator event).
+        """
+        deadline = self.kernel.config.handler_deadline
+        if deadline is None:
+            return None
+
+        def expire() -> None:
+            if done.done or not thread.alive:
+                return
+            supervisor = self.kernel.events.supervisor
+            supervisor.counters["handler_timeouts"] += 1
+            self.kernel.tracer.emit("supervise", "handler-timeout",
+                                    event=block.event, oid=obj.oid,
+                                    node=self.node_id, deadline=deadline)
+            error = HandlerTimeout(
+                f"object handler for {block.event} on oid {obj.oid} "
+                f"exceeded {deadline}s")
+            # Fail the delivery future first: the destroy below unwinds
+            # the generator, whose error path must see done as settled.
+            done.fail(error)
+            self.kernel.invoker.destroy_thread_abrupt(thread, error)
+            if self._master is thread:
+                # The master died with the hung handler; respawn it if
+                # posts are waiting (otherwise first use re-creates it).
+                self._master = None
+                if len(self._queue):
+                    self._ensure_master()
+
+        return self.kernel.sim.call_after(deadline, expire)

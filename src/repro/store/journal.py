@@ -24,6 +24,11 @@ Record types
     of the handler run so redelivered duplicates are suppressed.
 ``reg`` / ``unreg``
     Object-based handler (de)registration in the persistent registry.
+``dead`` / ``dead-requeue``
+    Dead-letter quarantine: a poison or undeliverable block entered the
+    node's :class:`~repro.events.supervise.DeadLetterQueue` (``dead``)
+    or was taken back out for requeue (``dead-requeue``). Replayed on
+    recovery so quarantined blocks survive the node.
 ``checkpoint``
     A state snapshot (outbox, applied set, registry, object states);
     everything before it is truncated, bounding replay length.
@@ -40,8 +45,11 @@ from repro.errors import KernelError
 REC_POST = "post"
 REC_ACK = "ack"
 REC_APPLIED = "applied"
+REC_UNAPPLIED = "unapplied"
 REC_REG = "reg"
 REC_UNREG = "unreg"
+REC_DEAD = "dead"
+REC_DEAD_REQUEUE = "dead-requeue"
 REC_CHECKPOINT = "checkpoint"
 
 #: Simulated on-medium record sizes in bytes (fixed per type so byte
@@ -50,8 +58,11 @@ RECORD_SIZES = {
     REC_POST: 160,
     REC_ACK: 48,
     REC_APPLIED: 48,
+    REC_UNAPPLIED: 48,
     REC_REG: 64,
     REC_UNREG: 48,
+    REC_DEAD: 160,
+    REC_DEAD_REQUEUE: 48,
     REC_CHECKPOINT: 512,
 }
 

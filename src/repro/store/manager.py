@@ -36,11 +36,20 @@ from repro.store.journal import (
     NodeJournal,
     REC_ACK,
     REC_APPLIED,
+    REC_DEAD,
+    REC_DEAD_REQUEUE,
     REC_POST,
     REC_REG,
+    REC_UNAPPLIED,
     REC_UNREG,
 )
-from repro.store.outbox import DELIVERED, NOTICED, Outbox, OutboxEntry
+from repro.store.outbox import (
+    DELIVERED,
+    NOTICED,
+    Outbox,
+    OutboxEntry,
+    QUARANTINED,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.events.block import EventBlock
@@ -117,7 +126,8 @@ class NodeStore:
 
     def on_store_ack(self, message: Message) -> None:
         """Kernel dispatch entry for :data:`MSG_STORE_ACK`."""
-        self.resolve(message.payload["entry_id"], DELIVERED)
+        self.resolve(message.payload["entry_id"],
+                     message.payload.get("status", DELIVERED))
 
     # ==================================================================
     # receiver side (applied-set dedup + acknowledgement)
@@ -152,19 +162,54 @@ class NodeStore:
         self.journal.append(REC_APPLIED, entry_id=entry_id)
         self._after_append()
 
+    def unmark_applied(self, entry_id: tuple[int, int]) -> None:
+        """Retract the execution marker: the handler run *failed* and the
+        supervision policy is about to retry it locally.
+
+        Journaled, so a crash during the retry backoff makes the origin's
+        redelivery re-run the handler instead of being suppressed — the
+        failed run completed no effects to double. ``_enqueued`` keeps
+        suppressing concurrent duplicates while the retry is pending.
+        """
+        if entry_id not in self.applied:
+            return
+        self.applied.discard(entry_id)
+        self._enqueued.add(entry_id)
+        self.journal.append(REC_UNAPPLIED, entry_id=entry_id)
+        self._after_append()
+
     def post_executed(self, entry_id: tuple[int, int]) -> None:
         """The handler run completed: acknowledge to the origin."""
         self._enqueued.discard(entry_id)
         self._send_ack(entry_id)
 
-    def _send_ack(self, entry_id: tuple[int, int]) -> None:
+    def post_quarantined(self, entry_id: tuple[int, int]) -> None:
+        """The post was dead-lettered here: ack so the origin stops
+        redelivering, resolved as ``quarantined`` rather than
+        ``delivered``.
+
+        The applied marker is journaled (if not already, e.g. by the
+        failed run's own :meth:`mark_applied`): if this node crashes
+        before the origin processes the ack, the recovery redelivery
+        must be suppressed — the post's outcome is quarantine, not a
+        fresh execution.
+        """
+        if entry_id not in self.applied:
+            self.applied.add(entry_id)
+            self.journal.append(REC_APPLIED, entry_id=entry_id)
+            self._after_append()
+        self._enqueued.discard(entry_id)
+        self._send_ack(entry_id, QUARANTINED)
+
+    def _send_ack(self, entry_id: tuple[int, int],
+                  status: str = DELIVERED) -> None:
         origin = entry_id[0]
         if origin == self.kernel.node_id:
-            self.resolve(entry_id, DELIVERED)
+            self.resolve(entry_id, status)
             return
         self.kernel.transmit(Message(
             src=self.kernel.node_id, dst=origin, mtype=MSG_STORE_ACK,
-            size=48, payload={"entry_id": entry_id}))
+            size=48, payload={"entry_id": entry_id, "status": status}))
         # A lost ack is self-healing: the origin redelivers, the applied
         # set suppresses re-execution, and the duplicate is re-acked.
 
@@ -179,6 +224,22 @@ class NodeStore:
 
     def journal_unregistration(self, oid: int, event: str) -> None:
         self.journal.append(REC_UNREG, oid=oid, event=event)
+        self._after_append()
+
+    # ==================================================================
+    # dead-letter quarantine (journal hooks)
+    # ==================================================================
+
+    def journal_dead_letter(self, dead) -> None:
+        """Durably record a block entering the dead-letter queue."""
+        self.journal.append(REC_DEAD, dl_id=dead.dl_id, block=dead.block,
+                            reason=dead.reason, error=dead.error,
+                            failures=dead.failures, at=dead.at)
+        self._after_append()
+
+    def journal_dead_requeue(self, dl_id: int) -> None:
+        """Durably record a dead letter leaving the queue (requeued)."""
+        self.journal.append(REC_DEAD_REQUEUE, dl_id=dl_id)
         self._after_append()
 
     # ==================================================================
@@ -205,6 +266,7 @@ class NodeStore:
             "registrations": manager.handlers.entries(),
             "objects": {oid: snapshot_object(manager.get(oid))
                         for oid in manager.oids()},
+            "dead_letters": self.kernel.dead_letters.snapshot(),
         }
 
     # ==================================================================
@@ -237,6 +299,7 @@ class NodeStore:
             self.outbox.restore([replace(entry)
                                  for entry in state["pending"]])
             manager.handlers.restore(state["registrations"])
+            self.kernel.dead_letters.restore(state.get("dead_letters", ()))
             for oid, snapshot in state["objects"].items():
                 if manager.get(oid) is None:
                     manager.adopt(restore_object(snapshot))
@@ -246,6 +309,8 @@ class NodeStore:
                 self.outbox.apply_record(record)
             elif record.rtype == REC_APPLIED:
                 self.applied.add(record.data["entry_id"])
+            elif record.rtype == REC_UNAPPLIED:
+                self.applied.discard(record.data["entry_id"])
             elif record.rtype == REC_REG:
                 manager.handlers.register(record.data["oid"],
                                           record.data["event"],
@@ -253,6 +318,11 @@ class NodeStore:
             elif record.rtype == REC_UNREG:
                 manager.handlers.unregister(record.data["oid"],
                                             record.data["event"])
+            elif record.rtype == REC_DEAD:
+                self.kernel.dead_letters.replay_add(record.data)
+            elif record.rtype == REC_DEAD_REQUEUE:
+                self.kernel.dead_letters.replay_remove(
+                    record.data["dl_id"])
         self.outbox.park_all()
         replayed = len(tail) + (1 if state is not None else 0)
         recovery_time = replayed * self.kernel.config.replay_cost
@@ -326,4 +396,5 @@ class NodeStore:
                 "recoveries": len(self.recovery_log)}
 
 
-__all__ = ["MSG_STORE_ACK", "NodeStore", "DELIVERED", "NOTICED"]
+__all__ = ["MSG_STORE_ACK", "NodeStore", "DELIVERED", "NOTICED",
+           "QUARANTINED"]

@@ -28,6 +28,7 @@ IN_FLIGHT = "in-flight"
 PARKED = "parked"
 DELIVERED = "delivered"
 NOTICED = "noticed"
+QUARANTINED = "quarantined"
 
 
 @dataclass
@@ -46,7 +47,7 @@ class OutboxEntry:
 
     @property
     def resolved(self) -> bool:
-        return self.status in (DELIVERED, NOTICED)
+        return self.status in (DELIVERED, NOTICED, QUARANTINED)
 
 
 class Outbox:
@@ -64,6 +65,7 @@ class Outbox:
         self.recorded = 0
         self.delivered = 0
         self.noticed = 0
+        self.quarantined = 0
         self.redelivered = 0
 
     def __len__(self) -> int:
@@ -122,6 +124,8 @@ class Outbox:
         self.journal.append(REC_ACK, entry_id=entry_id, status=status)
         if status == DELIVERED:
             self.delivered += 1
+        elif status == QUARANTINED:
+            self.quarantined += 1
         else:
             self.noticed += 1
         return True
@@ -197,6 +201,13 @@ class Outbox:
             entry.status = PARKED
 
     def stats(self) -> dict[str, int]:
-        return {"recorded": self.recorded, "delivered": self.delivered,
-                "noticed": self.noticed, "redelivered": self.redelivered,
-                "pending": len(self._pending)}
+        stats = {"recorded": self.recorded, "delivered": self.delivered,
+                 "noticed": self.noticed,
+                 "redelivered": self.redelivered,
+                 "pending": len(self._pending)}
+        if self.quarantined:
+            # Key present only when quarantines happened: stats dicts
+            # (and digests built from them) are unchanged for runs that
+            # never hit the dead-letter path.
+            stats["quarantined"] = self.quarantined
+        return stats

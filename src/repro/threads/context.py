@@ -120,7 +120,8 @@ class Ctx:
     def attach_handler(self, event: str,
                        handler: Any,
                        context: HandlerContext | None = None,
-                       buddy: Capability | None = None) -> sc.AttachHandler:
+                       buddy: Capability | None = None,
+                       deadline: float | None = None) -> sc.AttachHandler:
         """Build the §5.2 ``attach_handler`` call.
 
         ``handler`` may be:
@@ -132,20 +133,22 @@ class Ctx:
           (``OWN_CONTEXT``).
 
         ``context`` overrides the inferred context when both
-        interpretations are possible.
+        interpretations are possible. ``deadline`` sets a per-
+        registration watchdog deadline overriding ``handler_deadline``.
         """
         if callable(handler) and not isinstance(handler, str):
             fn: Callable = handler
             return sc.AttachHandler(event=event,
                                     context=HandlerContext.CURRENT,
-                                    procedure=fn)
+                                    procedure=fn, deadline=deadline)
         if buddy is not None:
             return sc.AttachHandler(event=event, context=HandlerContext.BUDDY,
-                                    fn_name=str(handler), target=buddy)
+                                    fn_name=str(handler), target=buddy,
+                                    deadline=deadline)
         return sc.AttachHandler(
             event=event,
             context=context or HandlerContext.ATTACHING,
-            fn_name=str(handler))
+            fn_name=str(handler), deadline=deadline)
 
     def detach_handler(self, event: str,
                        reg_id: int | None = None) -> sc.DetachHandler:

@@ -128,6 +128,8 @@ class AttachHandler(ThreadSyscall):
     #: CURRENT: a callable installed into per-thread memory, or the name
     #: of an already-installed procedure
     procedure: Any = None
+    #: Per-registration watchdog deadline overriding ``handler_deadline``
+    deadline: float | None = None
 
 
 @dataclass(frozen=True)

@@ -3,7 +3,7 @@ scoped exception handling, and the pager workload."""
 
 import pytest
 
-from repro import Decision, DistObject, entry, on_event
+from repro import DistObject, entry, on_event
 from repro.apps import (
     install_ctrl_c,
     invoke_guarded,
@@ -86,11 +86,12 @@ class TestDistributedCtrlC:
     def test_locks_released_across_the_group(self):
         cluster, mgr, root_obj, worker_obj, gid, root = self._run()
         manager = cluster.get_object(mgr)
-        assert sum(1 for l in manager._locks.values()
-                   if l.holder is not None) == 3
+        assert sum(1 for lk in manager._locks.values()
+                   if lk.holder is not None) == 3
         press_ctrl_c(cluster, root.tid)
         cluster.run()
-        assert all(l.holder is None for l in manager._locks.values())
+        assert all(lk.holder is None
+                   for lk in manager._locks.values())
         assert manager.cleanup_releases == 3
 
     def test_scales_with_worker_count(self):

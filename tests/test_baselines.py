@@ -1,7 +1,5 @@
 """Tests for the §9 baseline models and the E8 scenario matrix."""
 
-import pytest
-
 from repro.baselines import (
     MachExceptionModel,
     MachTask,

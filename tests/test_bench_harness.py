@@ -120,10 +120,10 @@ class TestMatrixLatency:
                           latency=model)
         near = cluster.create_object(Echo, node=1)
         far = cluster.create_object(Echo, node=3)
-        t_near = cluster.spawn(near, "echo", 1, at=0)
+        cluster.spawn(near, "echo", 1, at=0)
         cluster.run()
         near_time = cluster.now
-        t_far = cluster.spawn(far, "echo", 1, at=0)
+        cluster.spawn(far, "echo", 1, at=0)
         cluster.run()
         far_time = cluster.now - near_time
         assert far_time > 5 * near_time

@@ -3,7 +3,7 @@ RPC fail-fast, and rejoining the cluster with empty volatile state."""
 
 import pytest
 
-from repro import Cluster, ClusterConfig, Decision, DistObject, entry
+from repro import Decision, DistObject, entry
 from repro.errors import DeadThreadError, KernelError, NodeCrashedError
 from tests.conftest import Echo, Sleeper, make_cluster
 

@@ -77,7 +77,7 @@ class TestDeterminism:
             cluster = Cluster(ClusterConfig(n_nodes=3, seed=5))
             from tests.conftest import Echo
             cap = cluster.create_object(Echo, node=2)
-            thread = cluster.spawn(cap, "echo", 42, at=0)
+            cluster.spawn(cap, "echo", 42, at=0)
             cluster.run()
             return cluster.tracer.signature()
 

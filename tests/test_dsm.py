@@ -109,7 +109,7 @@ class TestDsmObjectBasics:
     def test_state_shared_across_nodes(self):
         cluster = make_cluster(n_nodes=3)
         cap = cluster.create_object(Counter, node=1, transport=TRANSPORT_DSM)
-        t0 = cluster.spawn(cap, "incr", 3, at=0)
+        cluster.spawn(cap, "incr", 3, at=0)
         cluster.run()
         t2 = cluster.spawn(cap, "incr", 3, at=2)
         cluster.run()
@@ -148,12 +148,12 @@ class TestCoherence:
         page = segment.page_of("count")
         # readers on nodes 1 and 2
         for node in (1, 2):
-            t = cluster.spawn(cap, "get", at=node)
+            cluster.spawn(cap, "get", at=node)
             cluster.run()
         assert cluster.dsm.local_mode(1, segment, page) == MODE_READ
         assert cluster.dsm.local_mode(2, segment, page) == MODE_READ
         # writer on node 1 invalidates node 2
-        t = cluster.spawn(cap, "incr", 1, at=1)
+        cluster.spawn(cap, "incr", 1, at=1)
         cluster.run()
         assert cluster.dsm.local_mode(1, segment, page) == MODE_WRITE
         assert cluster.dsm.local_mode(2, segment, page) == MODE_NONE
@@ -192,7 +192,7 @@ class TestCoherence:
         cluster = make_cluster(n_nodes=2, page_size=8192)
         cap = cluster.create_object(Counter, node=1, transport=TRANSPORT_DSM)
         before = cluster.fabric.stats.bytes_sent
-        thread = cluster.spawn(cap, "get", at=0)
+        cluster.spawn(cap, "get", at=0)
         cluster.run()
         assert cluster.fabric.stats.bytes_sent - before >= 8192
 

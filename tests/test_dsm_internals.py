@@ -118,7 +118,6 @@ class TestConcurrentUpgradeRace:
         # exactly one exclusive owner (or shared) at quiescence
         segment = cluster.dsm.segment_of(cap.oid)
         page = segment.page_of("w")
-        entry_ = cluster.dsm.directory_entry(segment, page)
         writers = [n for n in range(6)
                    if cluster.dsm.local_mode(n, segment, page) == MODE_WRITE]
         assert len(writers) <= 1

@@ -53,7 +53,6 @@ class TestBasicPaging:
 
     def test_pager_supplies_backing_content(self):
         cluster = make_cluster(n_nodes=3)
-        board_cls_page = None
         store = {}
         pager = cluster.create_object(SeededPager, store, node=0)
         board = cluster.create_object(Board, node=1,
@@ -70,7 +69,7 @@ class TestBasicPaging:
         pager = cluster.create_object(PagerServer, node=0)
         board = cluster.create_object(Board, node=1,
                                       transport=TRANSPORT_DSM)
-        t1 = cluster.spawn(board, "put", pager, "x", 1, at=2)
+        cluster.spawn(board, "put", pager, "x", 1, at=2)
         cluster.run()
         t2 = cluster.spawn(board, "get", pager, "x", at=2)
         cluster.run()

@@ -4,9 +4,9 @@ recovery, and exactly-once execution of durable posts."""
 
 import pytest
 
-from repro import Cluster, ClusterConfig, DistObject, entry, on_event
+from repro import ClusterConfig, DistObject, on_event
 from repro.errors import KernelError
-from repro.store import DELIVERED, MSG_STORE_ACK, NOTICED
+from repro.store import MSG_STORE_ACK
 from tests.conftest import Sleeper, make_cluster
 
 

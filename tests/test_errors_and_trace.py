@@ -56,7 +56,7 @@ class TestHierarchy:
 
 class TestMessageEnvelope:
     def test_reply_envelope_rejects_broadcast_source(self):
-        from repro.net.message import BROADCAST, Message
+        from repro.net.message import Message
 
         msg = Message(src=0, dst=1, mtype="x")
         reply = msg.reply_envelope("y")

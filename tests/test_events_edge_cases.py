@@ -7,7 +7,7 @@ the registry mid-chain, events chasing threads mid-migration.
 
 import pytest
 
-from repro import Decision, DistObject, entry, handler_entry
+from repro import Decision, DistObject, entry
 from repro.errors import DeadThreadError
 from tests.conftest import Sleeper, make_cluster
 

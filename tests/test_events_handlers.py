@@ -1,8 +1,6 @@
 """Tests for thread-based handler mechanics: the three execution contexts
 (§4.1), LIFO chaining and propagation (§4.2), decisions, detachment."""
 
-import pytest
-
 from repro import Decision, DistObject, HandlerContext, entry, handler_entry
 from repro.events.handlers import HandlerRegistration
 from tests.conftest import make_cluster
@@ -93,7 +91,7 @@ class TestAttachingContext:
         thread 'regardless of when and where the thread is located'."""
         cluster = _rig()
         log = Logger()
-        host = cluster.create_object(HandlerHost, log, node=1)
+        cluster.create_object(HandlerHost, log, node=1)
         far = cluster.create_object(Mover, node=3)
 
         class Starter(DistObject):
@@ -412,6 +410,4 @@ class TestSyncResumeFromHandler:
         cluster.run()
         assert future.result() == "early-value"
         # the raiser was resumed long before the handler's 5s tail
-        resumed_records = [r for r in cluster.tracer.records
-                           if r.category == "event" and r.name == "raise"]
         assert cluster.now >= start + 5.0  # tail ran to completion

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro import ClusterConfig, DistObject, entry
+from repro import DistObject, entry
 from repro.errors import DeadThreadError
-from tests.conftest import Relay, Sleeper, make_cluster
+from tests.conftest import Sleeper, make_cluster
 
 
 def _deep_thread(cluster, depth):
@@ -25,7 +25,7 @@ class TestAllLocators:
         sleeper = cluster.create_object(Sleeper, node=0)
         thread = cluster.spawn(sleeper, "hold", 1000.0, at=0)
         cluster.run(until=0.5)
-        future = cluster.raise_and_wait("TERMINATE", thread.tid, from_node=2)
+        cluster.raise_and_wait("TERMINATE", thread.tid, from_node=2)
         cluster.run()
         assert thread.state == "terminated"
 
@@ -33,7 +33,7 @@ class TestAllLocators:
         cluster = make_cluster(n_nodes=5, locator=locator)
         thread = _deep_thread(cluster, depth=3)
         assert thread.current_node != 0
-        future = cluster.raise_and_wait("TERMINATE", thread.tid, from_node=0)
+        cluster.raise_and_wait("TERMINATE", thread.tid, from_node=0)
         cluster.run()
         assert thread.state == "terminated"
 

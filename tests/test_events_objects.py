@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import ClusterConfig, Decision, DistObject, entry, on_event
+from repro import DistObject, entry, on_event
 from repro.errors import NoHandlerError, UnknownObjectError
 from tests.conftest import Recorder, make_cluster
 

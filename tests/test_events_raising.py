@@ -14,7 +14,7 @@ import pytest
 
 from repro import Decision, DistObject, entry
 from repro.errors import DeadThreadError, EventError, UnknownEventError
-from tests.conftest import Recorder, Sleeper, make_cluster
+from tests.conftest import Recorder, make_cluster
 
 
 class Raiser(DistObject):
@@ -67,7 +67,6 @@ class TestRaiseToThread:
         cluster, target_obj, raiser = rig
         victim = cluster.spawn(target_obj, "wait_for_events", "v", at=3)
         cluster.run(until=0.05)
-        started = cluster.now
         thread = cluster.spawn(raiser, "fire", "USER_EVENT", victim.tid,
                                "payload", at=1)
         cluster.run(until=0.1)
@@ -169,8 +168,9 @@ class TestRaiseToGroup:
     def test_async_group_raise_reaches_all_members(self, rig):
         cluster, target_obj, raiser = rig
         gid = cluster.new_group()
-        victims = [cluster.spawn(target_obj, "wait_for_events", f"m{i}",
-                                 at=i, group=gid) for i in range(3)]
+        for i in range(3):
+            cluster.spawn(target_obj, "wait_for_events", f"m{i}",
+                          at=i, group=gid)
         cluster.run(until=0.05)
         thread = cluster.spawn(raiser, "fire", "USER_EVENT", gid, at=1)
         cluster.run(until=0.2)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Decision, DistObject, entry, handler_entry, on_event
+from repro import Decision, DistObject, entry, on_event
 from repro.errors import ThreadTerminated
 from tests.conftest import make_cluster
 

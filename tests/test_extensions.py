@@ -5,7 +5,7 @@ import json
 
 import pytest
 
-from repro import Decision, DistObject, entry
+from repro import DistObject, entry
 from repro.apps.exceptions import invoke_declared, repairing
 from repro.monitor import MonitorServer, install_monitor
 from tests.conftest import make_cluster
@@ -96,7 +96,7 @@ class TestWatchdog:
         app = cluster.create_object(Stalling, node=1)
         healthy = cluster.spawn(app, "maybe_stall", monitor, False, at=0)
         stalled = cluster.spawn(app, "maybe_stall", monitor, True, at=0)
-        starter = cluster.spawn(monitor, "start_watchdog", 0.1, at=2)
+        cluster.spawn(monitor, "start_watchdog", 0.1, at=2)
         cluster.run(until=5.0)
         assert healthy.completion.result() == "healthy"
         assert stalled.state == "terminated"

@@ -3,7 +3,7 @@ thread migration, TCB chains, spawning, exceptions, aborts."""
 
 import pytest
 
-from repro import ClusterConfig, DistObject, entry
+from repro import DistObject, entry
 from repro.errors import (
     InvocationAborted,
     NoSuchEntryError,
@@ -49,7 +49,7 @@ class TestLocalAndRemoteInvocation:
         cluster = make_cluster(n_nodes=2, link_latency=0.1,
                                thread_create_cost=0.0)
         cap = cluster.create_object(Echo, node=1)
-        thread = cluster.spawn(cap, "echo", 1, at=0)
+        cluster.spawn(cap, "echo", 1, at=0)
         cluster.run()
         # migrate (0.1) + compute (1e-5) + completion message (0.1)
         assert cluster.now == pytest.approx(0.2, abs=1e-3)
@@ -151,7 +151,7 @@ class TestAsyncInvocation:
         assert run_to_result(cluster, thread) is None
 
     def test_child_inherits_group(self, cluster):
-        echo = cluster.create_object(Echo, node=1)
+        cluster.create_object(Echo, node=1)
         sleeper = cluster.create_object(Sleeper, node=1)
 
         class Parent(DistObject):
@@ -163,7 +163,7 @@ class TestAsyncInvocation:
 
         gid = cluster.new_group()
         parent = cluster.create_object(Parent, node=0)
-        thread = cluster.spawn(parent, "fan", sleeper, at=0, group=gid)
+        cluster.spawn(parent, "fan", sleeper, at=0, group=gid)
         cluster.run(until=1.0)
         assert len(cluster.groups.members(gid)) == 3
 
@@ -171,7 +171,7 @@ class TestAsyncInvocation:
         cluster = make_cluster(n_nodes=1, thread_create_cost=0.5,
                                link_latency=0.0)
         echo = cluster.create_object(Echo, node=0)
-        thread = cluster.spawn(echo, "echo", 1, at=0)
+        cluster.spawn(echo, "echo", 1, at=0)
         cluster.run()
         assert cluster.now >= 0.5
 

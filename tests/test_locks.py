@@ -100,8 +100,7 @@ class TestBasicLocking:
 
     def test_fifo_grant_order(self, rig):
         cluster, mgr, user = rig
-        holder = cluster.spawn(user, "acquire_and_hold", mgr, ["L"],
-                               0.5, at=0)
+        cluster.spawn(user, "acquire_and_hold", mgr, ["L"], 0.5, at=0)
         cluster.run(until=0.1)
         w1 = cluster.spawn(user, "acquire_release", mgr, "L", at=1)
         cluster.run(until=0.2)
@@ -113,8 +112,7 @@ class TestBasicLocking:
 
     def test_try_acquire(self, rig):
         cluster, mgr, user = rig
-        holder = cluster.spawn(user, "acquire_and_hold", mgr, ["L"],
-                               10.0, at=0)
+        cluster.spawn(user, "acquire_and_hold", mgr, ["L"], 10.0, at=0)
         cluster.run(until=0.1)
         prober = cluster.spawn(user, "try_it", mgr, "L", at=1)
         cluster.run(until=0.2)
@@ -146,13 +144,14 @@ class TestCleanupChaining:
                                ["a", "b", "c"], at=0)
         cluster.run(until=0.5)
         manager = cluster.get_object(mgr)
-        held = [n for n, l in manager._locks.items()
-                if l.holder is not None]
+        held = [n for n, lk in manager._locks.items()
+                if lk.holder is not None]
         assert sorted(held) == ["a", "b", "c"]
         cluster.raise_event("TERMINATE", thread.tid, from_node=2)
         cluster.run()
         assert thread.state == "terminated"
-        assert all(l.holder is None for l in manager._locks.values())
+        assert all(lk.holder is None
+                   for lk in manager._locks.values())
         assert manager.cleanup_releases == 3
 
     def test_cleanup_wakes_blocked_waiter(self, rig):
@@ -192,8 +191,7 @@ class TestCleanupChaining:
 
     def test_dead_waiter_skipped_on_grant(self, rig):
         cluster, mgr, user = rig
-        holder = cluster.spawn(user, "acquire_and_hold", mgr, ["L"],
-                               1.0, at=0)
+        cluster.spawn(user, "acquire_and_hold", mgr, ["L"], 1.0, at=0)
         cluster.run(until=0.2)
         doomed = cluster.spawn(user, "acquire_release", mgr, "L", at=1)
         cluster.run(until=0.4)
@@ -219,7 +217,7 @@ class TestCleanupChaining:
         assert thread.state == "failed"
         manager = cluster.get_object(mgr)
         assert manager._locks["L"].holder is not None  # leaked
-        reaper = cluster.spawn(user, "try_it", mgr, "ignored", at=1)
+        cluster.spawn(user, "try_it", mgr, "ignored", at=1)
         driver = cluster.spawn(mgr, "reap", at=1)
         cluster.run()
         assert driver.completion.result() == ["L"]

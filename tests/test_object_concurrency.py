@@ -7,8 +7,6 @@ sharing, including the §3.1 sharability requirement that events posted to
 one thread leave unrelated threads in the same object untouched.
 """
 
-import pytest
-
 from repro import Decision, DistObject, entry
 from tests.conftest import make_cluster
 

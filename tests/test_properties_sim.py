@@ -1,6 +1,6 @@
 """Property-based tests for the simulation substrate."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.sim import Channel, RngRegistry, Semaphore, Simulator
 

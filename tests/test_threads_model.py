@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import EventError, GroupError, ThreadError
 from repro.events.handlers import (
-    Decision,
     HandlerChain,
     HandlerContext,
     HandlerRegistration,
