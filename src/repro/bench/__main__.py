@@ -1,7 +1,9 @@
 """Run the full experiment suite: ``python -m repro.bench``.
 
 Prints every table from :mod:`repro.bench.experiments`; pass experiment
-names (``table1 e2 e5 …``) to run a subset.
+names (``table1 e2 e5 …``) to run a subset. ``--profile`` wraps each
+run in cProfile and prints the top-20 cumulative hotspots
+(:func:`repro.bench.harness.profile_call`).
 """
 
 from __future__ import annotations
@@ -9,17 +11,22 @@ from __future__ import annotations
 import sys
 
 from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import profile_call
 
 
 def main(argv: list[str]) -> int:
-    names = argv or list(ALL_EXPERIMENTS)
+    profile = "--profile" in argv
+    names = [a for a in argv if a != "--profile"] or list(ALL_EXPERIMENTS)
     unknown = [n for n in names if n not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}; "
               f"available: {', '.join(ALL_EXPERIMENTS)}")
         return 2
     for name in names:
-        ALL_EXPERIMENTS[name]().show()
+        if profile:
+            profile_call(ALL_EXPERIMENTS[name]).show()
+        else:
+            ALL_EXPERIMENTS[name]().show()
     return 0
 
 

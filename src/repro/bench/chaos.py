@@ -173,6 +173,9 @@ class ChaosSpec:
     breaker_threshold: int | None = None
     poison_threshold: int | None = None
     heartbeat_interval: float | None = None
+    #: scheduler backend under test ("heap" | "wheel"); the differential
+    #: tests run the same spec on both and require identical digests
+    scheduler: str = "heap"
 
     @property
     def active_time(self) -> float:
@@ -323,6 +326,7 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
         breaker_threshold=spec.breaker_threshold,
         poison_threshold=spec.poison_threshold,
         heartbeat_interval=spec.heartbeat_interval,
+        scheduler=spec.scheduler,
         rpc_default_timeout=0.5, trace_net=False))
     cluster.register_event(CHAOS_EVENT)
     sim, faults = cluster.sim, cluster.fabric.faults

@@ -52,6 +52,9 @@ class FastpathSpec:
     link_latency: float = 1e-3
     #: members per durable fan-out group (the group-commit batch size)
     group_size: int = 3
+    #: scheduler backend ("heap" | "wheel"); deterministic columns must
+    #: not change with the backend — the differential tests assert it
+    scheduler: str = "heap"
 
 
 def _result(cluster, spec: FastpathSpec, posts: int,
@@ -95,6 +98,7 @@ def run_burst(spec: FastpathSpec, fastpath: bool,
     knobs = FAST_ON if fastpath else FAST_OFF
     cluster = build_cluster(n_nodes=2, seed=spec.seed,
                             link_latency=spec.link_latency,
+                            scheduler=spec.scheduler,
                             reliable_delivery=True, **knobs)
     cluster.register_event("STORM")
     caps = {1: cluster.create_object(StormTarget, node=1)}
@@ -135,6 +139,7 @@ def run_durable_fanout(spec: FastpathSpec, fastpath: bool) -> dict[str, Any]:
     n_nodes = spec.group_size + 1
     cluster = build_cluster(n_nodes=n_nodes, seed=spec.seed,
                             link_latency=spec.link_latency,
+                            scheduler=spec.scheduler,
                             durable_delivery=True,
                             checkpoint_interval=None, **knobs)
     cluster.register_event("FAN")

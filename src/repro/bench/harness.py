@@ -86,6 +86,26 @@ def emit_json(table: Table, path: str | pathlib.Path,
     return payload
 
 
+def profile_call(fn: Callable[..., Any], *args: Any, top: int = 20,
+                 sort: str = "cumulative", **kwargs: Any) -> Any:
+    """Run ``fn(*args, **kwargs)`` under cProfile and print the top
+    hotspots, so perf work is profile-driven rather than guessed.
+
+    Prints the ``top`` entries sorted by ``sort`` (default cumulative
+    time) to stdout and returns whatever ``fn`` returned. Used by the
+    ``--profile`` flags of ``python -m repro.bench`` and
+    ``python -m repro.bench.soak``.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn, *args, **kwargs)
+    print(f"\n== cProfile: top {top} by {sort} ==")
+    pstats.Stats(profiler).sort_stats(sort).print_stats(top)
+    return result
+
+
 def sweep(values: Iterable[Any], fn: Callable[[Any], Any]) -> list[Any]:
     """Run ``fn`` once per value; returns results in order."""
     return [fn(value) for value in values]

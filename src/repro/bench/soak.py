@@ -1,0 +1,383 @@
+"""Million-post soak macro-bench (E12): the hot-path speed trajectory.
+
+Three phases exercise the post→route→deliver path end to end, sized by
+one total post budget (≥1M for the committed run) and Zipf-skewed object
+popularity so hot ``(object, event)`` routing-table entries dominate the
+way they do in real event systems:
+
+* ``burst`` — the bulk of the budget: open-loop bursts of object-directed
+  posts at a Zipf-popular object population, raised on the objects' home
+  node (the kernel fast path: no locator, no fabric messages). This is
+  the throughput ceiling of the delivery engine itself.
+* ``fanout`` — group-multicast posts delivered to member threads spread
+  across nodes; one raise traverses the (batched) routing stack once per
+  fan-out, and the phase throughput counts member deliveries.
+* ``durable`` — remote durable posts: journaled write-ahead at the
+  origin, sent over the reliable channel, acked and resolved through the
+  outbox. The expensive end of the spectrum.
+
+Wall-clock throughput and virtual-time p99 delivery latency per phase
+land in ``BENCH_soak.json`` so every future PR can check the speed
+trajectory; everything deterministic (post/delivery counts, simulator
+events, scheduler stats) is reported separately from wall-clock so
+same-seed runs compare bit-for-bit across backends.
+
+Run it::
+
+    PYTHONPATH=src python -m repro.bench.soak --posts 1000000
+    PYTHONPATH=src python -m repro.bench.soak --posts 20000 --json /dev/null
+    PYTHONPATH=src python -m repro.bench.soak --profile   # cProfile top-20
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import Cluster, ClusterConfig, DistObject, on_event
+from repro.bench.harness import Table, emit_json
+from repro.bench.workloads import EventSink
+
+SOAK_EVENT = "SOAK"
+
+#: burst wall_posts/s of the committed BENCH_fastpath.json baseline this
+#: campaign is measured against (PR 4's reliable-channel burst ceiling)
+FASTPATH_BASELINE_POSTS_PER_SEC = 11723.7
+
+#: trace categories muted for soak runs — a million posts would other-
+#: wise accumulate gigabytes of TraceRecords; counts are still kept
+MUTED_CATEGORIES = ("event", "object", "thread", "net", "store",
+                    "supervise", "invoke", "dsm", "rpc")
+
+
+@dataclass
+class SoakSpec:
+    """One soak configuration; the phase split is fractions of ``posts``."""
+
+    seed: int = 0
+    #: total post budget across all three phases (the committed
+    #: BENCH_soak.json run uses >= 1M)
+    posts: int = 1_000_000
+    burst_frac: float = 0.80
+    fanout_frac: float = 0.15  # durable gets the remainder
+    #: Zipf object population for the burst/durable phases
+    objects: int = 64
+    zipf_s: float = 1.1
+    #: posts fired per burst instant
+    burst: int = 16
+    #: virtual seconds between burst instants
+    gap: float = 2e-3
+    #: members per fan-out group (fanout throughput counts deliveries)
+    group_size: int = 4
+    link_latency: float = 1e-3
+    #: scheduler backend for the measured run; the acceptance criterion
+    #: is stated for the wheel + slab + batched-routing path
+    scheduler: str = "wheel"
+    wheel_tick: float = 1e-3
+    wheel_slots: int = 4096
+    #: retained latency samples per phase (drop-oldest, deterministic)
+    latency_window: int = 4096
+
+    def phase_budget(self) -> dict[str, int]:
+        burst = int(self.posts * self.burst_frac)
+        fanout = int(self.posts * self.fanout_frac)
+        # fan-out counts member deliveries; round down to whole raises
+        fanout -= fanout % self.group_size
+        durable = self.posts - burst - fanout
+        return {"burst": burst, "fanout": fanout, "durable": durable}
+
+
+class SoakSink(DistObject):
+    """Passive object absorbing soak posts; samples delivery latency."""
+
+    def __init__(self, samples: deque):
+        super().__init__()
+        self.seen = 0
+        self._samples = samples
+
+    @on_event(SOAK_EVENT)
+    def on_soak(self, ctx, block):
+        yield ctx.compute(1e-6)
+        self.seen += 1
+        self._samples.append(ctx.now - block.raised_at)
+        return None
+
+
+@dataclass
+class PhaseResult:
+    """One phase's figures (wall-clock separated from deterministic)."""
+
+    phase: str
+    posts: int
+    elapsed: float
+    sim_events: int
+    messages: int
+    p99_latency: float
+    scheduler_stats: dict[str, Any]
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def posts_per_sec(self) -> float:
+        return self.posts / self.elapsed if self.elapsed else 0.0
+
+    def row(self) -> dict[str, Any]:
+        data = {
+            "phase": self.phase,
+            "posts": self.posts,
+            "wall_posts_per_sec": round(self.posts_per_sec, 1),
+            "sim_events_per_post": round(self.sim_events / self.posts, 2),
+            "msgs_per_post": round(self.messages / self.posts, 4),
+            "p99_latency": round(self.p99_latency, 6),
+            "wheel_spills": self.scheduler_stats.get("wheel_spills", 0),
+            "wheel_migrations": self.scheduler_stats.get(
+                "wheel_migrations", 0),
+            "compactions": self.scheduler_stats.get("compactions", 0),
+            "pending_at_end": self.scheduler_stats.get("pending", 0),
+        }
+        data.update(self.extra)
+        return data
+
+def deterministic_view(row: dict[str, Any]) -> dict[str, Any]:
+    """The same-seed-comparable subset of a phase row."""
+    return {k: v for k, v in row.items() if k != "wall_posts_per_sec"}
+
+
+def _p99(samples: deque) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+
+
+def _build(spec: SoakSpec, **overrides: Any) -> Cluster:
+    knobs: dict[str, Any] = dict(
+        seed=spec.seed, link_latency=spec.link_latency,
+        scheduler=spec.scheduler, wheel_tick=spec.wheel_tick,
+        wheel_slots=spec.wheel_slots, trace_net=False)
+    knobs.update(overrides)
+    cluster = Cluster(ClusterConfig(**knobs))
+    cluster.tracer.mute(*MUTED_CATEGORIES)
+    cluster.register_event(SOAK_EVENT)
+    return cluster
+
+
+def _zipf_targets(spec: SoakSpec, count: int, stream: str) -> list[int]:
+    """``count`` Zipf-skewed object indices from a dedicated rng stream."""
+    import random
+
+    # seeding from a string hashes with sha512 inside Random — stable
+    # across processes, unlike hash() of a str-containing tuple
+    rng = random.Random(f"{spec.seed}:{stream}:{spec.objects}")
+    weights = [1.0 / (rank + 1) ** spec.zipf_s for rank in range(spec.objects)]
+    return rng.choices(range(spec.objects), weights=weights, k=count)
+
+
+def run_burst_phase(spec: SoakSpec, posts: int) -> PhaseResult:
+    """Open-loop local object-post bursts over a Zipf population."""
+    cluster = _build(spec, n_nodes=2)
+    samples: deque = deque(maxlen=spec.latency_window)
+    caps = [cluster.create_object(SoakSink, samples, node=0)
+            for _ in range(spec.objects)]
+    targets = _zipf_targets(spec, posts, "burst")
+    sim, t0 = cluster.sim, cluster.now
+    raise_external = cluster.events.raise_external
+    burst, gap = spec.burst, spec.gap
+
+    # Self-rescheduling feeder: O(1) queue growth instead of a million
+    # pre-scheduled fire callbacks.
+    def pump(i: int) -> None:
+        base = i * burst
+        stop = min(base + burst, posts)
+        for pid in range(base, stop):
+            raise_external(SOAK_EVENT, caps[targets[pid]], from_node=0,
+                           user_data=pid)
+        if stop < posts:
+            sim.call_at(t0 + (i + 1) * gap, pump, i + 1)
+
+    sim.call_at(t0, pump, 0)
+    wall = time.perf_counter()
+    cluster.run(max_events=None)  # a 1M-post run legitimately needs >2M
+    elapsed = time.perf_counter() - wall
+
+    seen = sum(cluster.get_object(cap).seen for cap in caps)
+    assert seen == posts, f"burst phase lost posts: {seen}/{posts}"
+    return PhaseResult(
+        phase="burst", posts=posts, elapsed=elapsed,
+        sim_events=cluster.sim.events_processed,
+        messages=cluster.message_stats()["sent"],
+        p99_latency=_p99(samples),
+        scheduler_stats=cluster.scheduler_stats())
+
+
+def run_fanout_phase(spec: SoakSpec, deliveries: int) -> PhaseResult:
+    """Group-multicast posts; throughput counts member deliveries."""
+    group = spec.group_size
+    raises = deliveries // group
+    cluster = _build(spec, n_nodes=group + 1)
+    gid = cluster.new_group()
+    sinks = [cluster.create_object(EventSink, node=node)
+             for node in range(1, group + 1)]
+    for node, cap in enumerate(sinks, start=1):
+        cluster.spawn(cap, "absorb", SOAK_EVENT, 1e9, at=node, group=gid)
+    cluster.run(until=cluster.now + 0.1)  # handlers attach
+
+    sim, t0 = cluster.sim, cluster.now
+    raise_external = cluster.events.raise_external
+    gap = spec.gap
+
+    def pump(i: int) -> None:
+        raise_external(SOAK_EVENT, gid, from_node=0, user_data=i)
+        if i + 1 < raises:
+            sim.call_at(t0 + (i + 1) * gap, pump, i + 1)
+
+    if raises:
+        sim.call_at(t0, pump, 0)
+    wall = time.perf_counter()
+    cluster.run(until=t0 + raises * spec.gap + 2.0, max_events=None)
+    elapsed = time.perf_counter() - wall
+
+    delivered = cluster.tracer.count("event", "deliver")
+    assert delivered >= raises * group, \
+        f"fanout phase lost deliveries: {delivered}/{raises * group}"
+    latency = cluster.events.delivery_latency_summary()
+    return PhaseResult(
+        phase="fanout", posts=raises * group, elapsed=elapsed,
+        sim_events=cluster.sim.events_processed,
+        messages=cluster.message_stats()["sent"],
+        p99_latency=latency.get("p99", 0.0),
+        scheduler_stats=cluster.scheduler_stats(),
+        extra={"raises": raises, "group_size": group})
+
+
+def run_durable_phase(spec: SoakSpec, posts: int) -> PhaseResult:
+    """Remote durable posts: journal, reliable send, outbox resolution."""
+    cluster = _build(spec, n_nodes=2, durable_delivery=True)
+    samples: deque = deque(maxlen=spec.latency_window)
+    objects = max(1, spec.objects // 8)
+    caps = [cluster.create_object(SoakSink, samples, node=1)
+            for _ in range(objects)]
+    targets = [t % objects for t in _zipf_targets(spec, posts, "durable")]
+    sim, t0 = cluster.sim, cluster.now
+    raise_external = cluster.events.raise_external
+    burst, gap = spec.burst, spec.gap
+
+    def pump(i: int) -> None:
+        base = i * burst
+        stop = min(base + burst, posts)
+        for pid in range(base, stop):
+            raise_external(SOAK_EVENT, caps[targets[pid]], from_node=0,
+                           user_data=pid)
+        if stop < posts:
+            sim.call_at(t0 + (i + 1) * gap, pump, i + 1)
+
+    if posts:
+        sim.call_at(t0, pump, 0)
+    wall = time.perf_counter()
+    cluster.run(max_events=None)
+    elapsed = time.perf_counter() - wall
+
+    seen = sum(cluster.get_object(cap).seen for cap in caps)
+    assert seen == posts, f"durable phase lost posts: {seen}/{posts}"
+    store = cluster.durability_stats()
+    assert store.get("pending", 0) == 0, \
+        f"durable phase left {store['pending']} outbox entries pending"
+    return PhaseResult(
+        phase="durable", posts=posts, elapsed=elapsed,
+        sim_events=cluster.sim.events_processed,
+        messages=cluster.message_stats()["sent"],
+        p99_latency=_p99(samples),
+        scheduler_stats=cluster.scheduler_stats(),
+        extra={"journal_commits": store.get("commits", 0),
+               "journal_appends": store.get("appends", 0)})
+
+
+def run_soak(spec: SoakSpec | None = None) -> tuple[Table, dict[str, Any]]:
+    """Run all three phases; returns (table, results payload)."""
+    spec = spec or SoakSpec()
+    budget = spec.phase_budget()
+    table = Table(
+        title=f"Soak (E12): {spec.posts} posts, scheduler={spec.scheduler}, "
+              f"{spec.objects} Zipf(s={spec.zipf_s}) objects, "
+              f"burst={spec.burst}",
+        columns=["phase", "posts", "wall_posts/s", "sim_ev/post",
+                 "msgs/post", "p99_lat", "spills", "migrations",
+                 "compactions"])
+    rows: dict[str, dict[str, Any]] = {}
+    runners = [("burst", run_burst_phase), ("fanout", run_fanout_phase),
+               ("durable", run_durable_phase)]
+    total_posts = 0
+    total_elapsed = 0.0
+    for phase, runner in runners:
+        result = runner(spec, budget[phase])
+        row = result.row()
+        rows[phase] = row
+        total_posts += result.posts
+        total_elapsed += result.elapsed
+        table.add(phase, row["posts"], row["wall_posts_per_sec"],
+                  row["sim_events_per_post"], row["msgs_per_post"],
+                  row["p99_latency"], row["wheel_spills"],
+                  row["wheel_migrations"], row["compactions"])
+    overall = round(total_posts / total_elapsed, 1) if total_elapsed else 0.0
+    burst_rate = rows["burst"]["wall_posts_per_sec"]
+    speedup = round(burst_rate / FASTPATH_BASELINE_POSTS_PER_SEC, 2)
+    table.note(f"overall {total_posts} posts at {overall} posts/s wall; "
+               f"burst is {speedup}x the BENCH_fastpath burst baseline "
+               f"({FASTPATH_BASELINE_POSTS_PER_SEC} posts/s)")
+    table.note("burst: local object posts (no fabric); fanout: group "
+               "multicast counted in member deliveries; durable: "
+               "journaled remote posts over the reliable channel")
+    table.note("p99_lat is virtual raise->deliver seconds; wall_posts/s "
+               "is host wall-clock, all other columns deterministic")
+    payload = {
+        "phases": rows,
+        "total_posts": total_posts,
+        "overall_posts_per_sec": overall,
+        "burst_speedup_vs_fastpath_baseline": speedup,
+        "fastpath_baseline_posts_per_sec": FASTPATH_BASELINE_POSTS_PER_SEC,
+        "spec": {
+            "seed": spec.seed, "posts": spec.posts,
+            "burst_frac": spec.burst_frac, "fanout_frac": spec.fanout_frac,
+            "objects": spec.objects, "zipf_s": spec.zipf_s,
+            "burst": spec.burst, "gap": spec.gap,
+            "group_size": spec.group_size, "scheduler": spec.scheduler,
+            "wheel_tick": spec.wheel_tick, "wheel_slots": spec.wheel_slots,
+        },
+    }
+    return table, payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.soak", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--posts", type=int, default=1_000_000,
+                        help="total post budget (default: 1000000)")
+    parser.add_argument("--scheduler", choices=("heap", "wheel"),
+                        default="wheel")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", default="BENCH_soak.json",
+                        help="output path (default: BENCH_soak.json)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile; print top-20 cumulative "
+                             "hotspots")
+    args = parser.parse_args(argv)
+
+    spec = SoakSpec(posts=args.posts, scheduler=args.scheduler,
+                    seed=args.seed)
+    if args.profile:
+        from repro.bench.harness import profile_call
+        table, payload = profile_call(run_soak, spec)
+    else:
+        table, payload = run_soak(spec)
+    table.show()
+    emit_json(table, args.json, "soak", **payload)
+    print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,7 @@ application of §6.2 samples).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 _block_ids = itertools.count(1)
@@ -50,9 +50,13 @@ class ThreadSnapshot:
         return (top.oid, top.entry, top.steps)
 
 
-@dataclass
 class EventBlock:
     """The structure handed to every handler.
+
+    A ``__slots__`` class rather than a dataclass: one block (often
+    several — fan-out copies, chain transforms, notices) is allocated
+    per post, so the per-instance ``__dict__`` was measurable churn on
+    the hot path.
 
     Attributes
     ----------
@@ -78,26 +82,54 @@ class EventBlock:
         Virtual time of the raise.
     delivered_at:
         Virtual time delivery began (set by the delivery engine).
+    block_id:
+        Cluster-unique id, allocated at construction.
+    durable_id:
+        Outbox identity ``(origin_node, seq)`` when the post was
+        journaled under ``durable_delivery``; None for non-durable
+        posts. Redelivered blocks carry the original id so the
+        receiver's applied-set dedup and the origin's ack matching line
+        up across crashes.
     """
 
-    event: str
-    raiser_tid: object = None
-    raiser_node: int | None = None
-    target: object = None
-    synchronous: bool = False
-    user_data: Any = None
-    snapshot: ThreadSnapshot | None = None
-    raised_at: float = 0.0
-    delivered_at: float | None = None
-    block_id: int = field(default_factory=lambda: next(_block_ids))
-    #: Outbox identity ``(origin_node, seq)`` when the post was journaled
-    #: under ``durable_delivery``; None for non-durable posts. Redelivered
-    #: blocks carry the original id so the receiver's applied-set dedup
-    #: and the origin's ack matching line up across crashes.
-    durable_id: tuple[int, int] | None = field(default=None, repr=False)
-    #: Set by the delivery engine while a chain executes, so a handler can
-    #: resume a synchronously-blocked raiser early via ctx.resume_raiser.
-    _resume_token: Any = field(default=None, repr=False)
+    __slots__ = ("event", "raiser_tid", "raiser_node", "target",
+                 "synchronous", "user_data", "snapshot", "raised_at",
+                 "delivered_at", "block_id", "durable_id",
+                 "_resume_token")
+
+    def __init__(self, event: str, raiser_tid: object = None,
+                 raiser_node: int | None = None, target: object = None,
+                 synchronous: bool = False, user_data: Any = None,
+                 snapshot: ThreadSnapshot | None = None,
+                 raised_at: float = 0.0,
+                 delivered_at: float | None = None) -> None:
+        self.event = event
+        self.raiser_tid = raiser_tid
+        self.raiser_node = raiser_node
+        self.target = target
+        self.synchronous = synchronous
+        self.user_data = user_data
+        self.snapshot = snapshot
+        self.raised_at = raised_at
+        self.delivered_at = delivered_at
+        self.block_id = next(_block_ids)
+        self.durable_id: tuple[int, int] | None = None
+        #: Set by the delivery engine while a chain executes, so a
+        #: handler can resume a synchronously-blocked raiser early via
+        #: ctx.resume_raiser.
+        self._resume_token: Any = None
+
+    def __repr__(self) -> str:
+        return (f"EventBlock(event={self.event!r}, "
+                f"raiser_tid={self.raiser_tid!r}, "
+                f"raiser_node={self.raiser_node!r}, "
+                f"target={self.target!r}, "
+                f"synchronous={self.synchronous!r}, "
+                f"user_data={self.user_data!r}, "
+                f"snapshot={self.snapshot!r}, "
+                f"raised_at={self.raised_at!r}, "
+                f"delivered_at={self.delivered_at!r}, "
+                f"block_id={self.block_id!r})")
 
     def with_event(self, event: str, user_data: Any = None) -> "EventBlock":
         """Derive a transformed block for re-raising up a chain (§4.2:

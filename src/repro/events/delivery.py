@@ -290,25 +290,35 @@ class EventManager:
             self._post_object(from_node, block, target)
             return 1
         if isinstance(target, GroupId):
-            members = sorted(self.cluster.groups.members_or_empty(target))
+            # Batched fan-out: the member list is resolved once (cached
+            # sorted order), every member block is built up front, the
+            # batch is journaled as one group commit, and one enqueue
+            # pass posts them — the delivery stack is set up once per
+            # multicast, not once per recipient.
+            members = self.cluster.groups.sorted_members(target)
+            event, raiser_tid = block.event, block.raiser_tid
+            raiser_node, synchronous = block.raiser_node, block.synchronous
+            user_data, raised_at = block.user_data, block.raised_at
+            token = block.block_id
             blocks = []
-            for tid in members:
+            for _ in members:
                 # Each member gets its own copy of the block (separate
                 # snapshots/decisions) tied to the same sync record.
                 member_block = EventBlock(
-                    event=block.event, raiser_tid=block.raiser_tid,
-                    raiser_node=block.raiser_node, target=target,
-                    synchronous=block.synchronous,
-                    user_data=block.user_data, raised_at=block.raised_at)
-                member_block._resume_token = block.block_id
+                    event=event, raiser_tid=raiser_tid,
+                    raiser_node=raiser_node, target=target,
+                    synchronous=synchronous,
+                    user_data=user_data, raised_at=raised_at)
+                member_block._resume_token = token
                 blocks.append(member_block)
             if store is not None and blocks:
                 # The whole fan-out is known before the first send, so
                 # write-ahead it as one group commit.
                 store.journal_post_batch(
                     [(b, "thread", None) for b in blocks])
+            post = self._post_thread
             for tid, member_block in zip(members, blocks):
-                self._post_thread(from_node, tid, member_block)
+                post(from_node, tid, member_block)
             return len(members)
         # single thread
         block._resume_token = block.block_id

@@ -27,7 +27,7 @@ from repro.objects.manager import ObjectManager
 from repro.dsm.manager import DsmManager
 from repro.sim.primitives import SimFuture
 from repro.sim.rng import RngRegistry
-from repro.sim.scheduler import Simulator
+from repro.sim.scheduler import make_simulator
 from repro.sim.trace import Tracer
 from repro.store.journal import ClusterStore
 from repro.threads.attributes import IoChannel, ThreadAttributes
@@ -49,7 +49,9 @@ class Cluster:
                  latency: LatencyModel | None = None,
                  faults: FaultPlan | None = None) -> None:
         self.config = config or ClusterConfig()
-        self.sim = Simulator()
+        self.sim = make_simulator(self.config.scheduler,
+                                  wheel_tick=self.config.wheel_tick,
+                                  wheel_slots=self.config.wheel_slots)
         self.rng = RngRegistry(self.config.seed)
         self.tracer = Tracer(self.sim)
         if not self.config.trace_net:
@@ -194,6 +196,12 @@ class Cluster:
                 key = f"dead_letters_{key}"
                 totals[key] = totals.get(key, 0) + value
         return totals
+
+    def scheduler_stats(self) -> dict[str, Any]:
+        """Scheduler internals (:meth:`repro.sim.scheduler.Simulator.stats`)
+        in the same aggregate style as :meth:`supervision_stats`, so
+        benches report queue pressure alongside their own counters."""
+        return self.sim.stats()
 
     # ------------------------------------------------------------------
     # running virtual time

@@ -33,6 +33,13 @@ TRANSPORT_NAMES = (TRANSPORT_RPC, TRANSPORT_DSM)
 OBJ_EVENTS_MASTER = "master"
 OBJ_EVENTS_PER_EVENT = "per-event"
 
+#: Scheduler backends (:mod:`repro.sim.scheduler`). ``heap`` is the
+#: bit-identical reference; ``wheel`` is the timing-wheel / calendar
+#: queue fast path with an overflow heap for far-future timers.
+SCHEDULER_HEAP = "heap"
+SCHEDULER_WHEEL = "wheel"
+SCHEDULER_NAMES = (SCHEDULER_HEAP, SCHEDULER_WHEEL)
+
 
 @dataclass
 class ClusterConfig:
@@ -186,6 +193,19 @@ class ClusterConfig:
     #: Missed heartbeats before a peer is suspected; suspicion fails
     #: buddy posts fast instead of waiting out retransmission give-up.
     suspect_after: int = 3
+    #: Discrete-event scheduler backend: ``heap`` (the bit-identical
+    #: reference, default) or ``wheel`` (timing wheel / calendar queue;
+    #: same execution order — the differential tests hold both to
+    #: identical traces — different push/pop cost profile).
+    scheduler: str = SCHEDULER_HEAP
+    #: Wheel bucket width in virtual seconds; callbacks within one tick
+    #: share a bucket. Pick near the workload's natural event spacing
+    #: (ignored by the heap backend).
+    wheel_tick: float = 1e-3
+    #: Near-window width in ticks; entries ``wheel_slots * wheel_tick``
+    #: past the window base spill to the overflow heap until the wheel
+    #: drains to them (ignored by the heap backend).
+    wheel_slots: int = 4096
     trace_net: bool = True
     extra: dict = field(default_factory=dict)
 
@@ -221,6 +241,14 @@ class ClusterConfig:
         if self.object_event_mode not in (OBJ_EVENTS_MASTER, OBJ_EVENTS_PER_EVENT):
             raise KernelError(
                 f"unknown object_event_mode {self.object_event_mode!r}")
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise KernelError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose from {SCHEDULER_NAMES}")
+        if self.wheel_tick <= 0:
+            raise KernelError("wheel_tick must be positive")
+        if self.wheel_slots < 2:
+            raise KernelError("wheel_slots must be >= 2")
         for name in ("link_latency", "thread_create_cost", "surrogate_cost",
                      "context_switch_cost", "attach_cost", "locate_timeout",
                      "locate_retry_delay", "retransmit_base", "ack_delay"):

@@ -16,9 +16,13 @@ from typing import Any
 _msg_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """An envelope in flight between two nodes.
+
+    ``slots=True``: envelopes are the highest-volume allocation in a
+    run (every post, ack and probe is one), so the per-instance dict
+    was pure hot-path overhead.
 
     Attributes
     ----------

@@ -45,6 +45,12 @@ class ObjectManager:
         #: dynamic object-based handler bindings (kernel state: volatile
         #: on crash, journaled and replayed when durable_delivery is on)
         self.handlers = ObjectHandlerRegistry()
+        #: routing table for hot ``(oid, event)`` pairs: the resolved
+        #: handler callable (or None for default-action events), so the
+        #: per-post registry + getattr walk happens once. Pure lookup
+        #: memoisation — invalidated whenever the answer could change
+        #: (registration changes, destroy, restore, crash).
+        self._handler_cache: dict[tuple[int, str], Any] = {}
         self._queue: Channel[Any] = Channel(kernel.sim)
         self._master: DThread | None = None
         #: handler runs in progress right now (0 when idle) — lets the
@@ -90,9 +96,18 @@ class ObjectManager:
                 f"node {self.node_id} hosts no object {oid}")
         return obj
 
+    def _invalidate_routes(self, oid: int) -> None:
+        """Drop every routing-table entry for ``oid``."""
+        cache = self._handler_cache
+        for key in [k for k in cache if k[0] == oid]:
+            del cache[key]
+
     def adopt(self, obj: DistObject) -> None:
         """Reinstall a restored object (recovery replay of a checkpoint
         snapshot after simulated media loss)."""
+        # the restored instance is a different object; cached bound
+        # methods of the old one must not serve its posts
+        self._invalidate_routes(obj.oid)
         self._objects[obj.oid] = obj
         self.kernel.cluster.object_directory[obj.oid] = obj
         self.kernel.tracer.emit("object", "restore", oid=obj.oid,
@@ -105,6 +120,7 @@ class ObjectManager:
             return False
         self.kernel.cluster.object_directory.pop(oid, None)
         self.handlers.drop_object(oid)
+        self._invalidate_routes(oid)
         self.kernel.tracer.emit("object", "destroy", oid=oid,
                                 node=self.node_id)
         return True
@@ -128,6 +144,7 @@ class ObjectManager:
                 f"method {fn_name!r} to register for {event!r}")
         self.kernel.cluster.names.require_event(event)
         self.handlers.register(oid, event, fn_name)
+        self._handler_cache.pop((oid, event), None)
         if self.kernel.config.durable_delivery:
             self.kernel.store.journal_registration(oid, event, fn_name)
         self.kernel.tracer.emit("event", "register-object-handler",
@@ -135,17 +152,26 @@ class ObjectManager:
 
     def unregister_object_handler(self, oid: int, event: str) -> bool:
         removed = self.handlers.unregister(oid, event)
+        self._handler_cache.pop((oid, event), None)
         if removed and self.kernel.config.durable_delivery:
             self.kernel.store.journal_unregistration(oid, event)
         return removed
 
     def object_handler_fn(self, obj: DistObject, event: str):
         """The object's handler for ``event``: a dynamic registration
-        wins over the class-declared ``@on_event`` one."""
+        wins over the class-declared ``@on_event`` one.
+
+        Memoised per ``(oid, event)`` — the hot delivery path resolves
+        the same pairs over and over; see ``_handler_cache``."""
+        key = (obj.oid, event)
+        cache = self._handler_cache
+        if key in cache:
+            return cache[key]
         name = self.handlers.lookup(obj.oid, event)
-        if name is not None:
-            return getattr(obj, name)
-        return obj.object_handler_fn(event)
+        fn = (getattr(obj, name) if name is not None
+              else obj.object_handler_fn(event))
+        cache[key] = fn
+        return fn
 
     # ------------------------------------------------------------------
     # crash (volatile-state discard; objects themselves persist)
@@ -170,6 +196,7 @@ class ObjectManager:
         self._master = None
         self.serving = 0
         self.handlers.clear()
+        self._handler_cache.clear()
 
     # ------------------------------------------------------------------
     # object-based event execution (§4.3, §7)

@@ -18,7 +18,12 @@ from repro.sim.process import (
     spawn,
 )
 from repro.sim.rng import RngRegistry
-from repro.sim.scheduler import Handle, Simulator
+from repro.sim.scheduler import (
+    Handle,
+    Simulator,
+    WheelSimulator,
+    make_simulator,
+)
 from repro.sim.trace import TraceRecord, Tracer
 
 __all__ = [
@@ -37,5 +42,7 @@ __all__ = [
     "Tracer",
     "Wait",
     "WaitAll",
+    "WheelSimulator",
+    "make_simulator",
     "spawn",
 ]

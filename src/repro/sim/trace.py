@@ -60,7 +60,13 @@ class Tracer:
     def emit(self, category: str, name: str, **fields: Any) -> None:
         """Record an event at the current virtual time."""
         key = f"{category}/{name}"
-        self.counts[key] = self.counts.get(key, 0) + 1
+        counts = self.counts
+        counts[key] = counts.get(key, 0) + 1
+        if category in self._muted and not self._listeners:
+            # Muted and nobody listening: the record would be built only
+            # to be thrown away. Counting alone keeps big benchmark runs
+            # from paying a TraceRecord + sorted-tuple per emit.
+            return
         record = TraceRecord(self.sim.now, category, name,
                              tuple(sorted(fields.items())))
         if category not in self._muted:

@@ -22,6 +22,10 @@ class GroupRegistry:
 
     def __init__(self) -> None:
         self._members: dict[GroupId, set[ThreadId]] = {}
+        #: memoised fan-out order per group — the delivery engine posts
+        #: to members in sorted order on every multicast, so the sort is
+        #: paid once per membership change instead of once per post
+        self._sorted: dict[GroupId, tuple[ThreadId, ...]] = {}
 
     def create(self, gid: GroupId) -> None:
         if gid in self._members:
@@ -36,6 +40,7 @@ class GroupRegistry:
         if members is None:
             raise GroupError(f"group {gid} does not exist")
         members.add(tid)
+        self._sorted.pop(gid, None)
 
     def remove(self, gid: GroupId, tid: ThreadId) -> bool:
         """Drop a member; empty groups are garbage-collected."""
@@ -43,6 +48,7 @@ class GroupRegistry:
         if members is None or tid not in members:
             return False
         members.discard(tid)
+        self._sorted.pop(gid, None)
         if not members:
             del self._members[gid]
         return True
@@ -55,6 +61,15 @@ class GroupRegistry:
 
     def members_or_empty(self, gid: GroupId) -> frozenset[ThreadId]:
         return frozenset(self._members.get(gid, frozenset()))
+
+    def sorted_members(self, gid: GroupId) -> tuple[ThreadId, ...]:
+        """Members in fan-out (sorted) order; cached until membership
+        changes. Empty tuple for unknown groups."""
+        cached = self._sorted.get(gid)
+        if cached is None:
+            cached = tuple(sorted(self._members.get(gid, ())))
+            self._sorted[gid] = cached
+        return cached
 
     def groups(self) -> list[GroupId]:
         return sorted(self._members)
