@@ -1,0 +1,55 @@
+"""E13: overload control — credit-based flow control + admission gate.
+
+Runs the E13 campaign (knee sweep with control on/off, policy matrix at
+2x overload), asserts the overload acceptance bars — >= 90% goodput at
+2x with bounded p99, every post executed / noticed / shed-with-notice /
+deferred, zero durable posts lost — and emits ``BENCH_overload.json``
+at the repo root.
+"""
+
+import pathlib
+
+from repro.bench.harness import emit_json
+from repro.bench.overload import (
+    OverloadSpec,
+    assert_overload_shape,
+    deterministic_view,
+    run_overload,
+    run_overload_sweep,
+)
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def test_e13_overload(benchmark, record):
+    spec = OverloadSpec()
+    result = {}
+
+    def run():
+        table, results = run_overload_sweep(spec)
+        result["table"], result["results"] = table, results
+        return table
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    table, results = result["table"], result["results"]
+    record("e13_overload", table)
+    emit_json(table, REPO_ROOT / "BENCH_overload.json",
+              experiment="overload",
+              knee={x: {mode: deterministic_view(row)
+                        for mode, row in modes.items()}
+                    for x, modes in results["knee"].items()},
+              policies={name: deterministic_view(row)
+                        for name, row in results["policies"].items()},
+              spec=results["spec"])
+    assert_overload_shape(results)
+
+
+def test_e13_deterministic(benchmark):
+    spec = OverloadSpec(seed=23, duration=0.5)
+
+    def run():
+        return deterministic_view(run_overload(spec, control=True))
+
+    first = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert first == deterministic_view(run_overload(spec, control=True)), \
+        "same-seed overload runs must be bit-identical"

@@ -176,10 +176,23 @@ class ChaosSpec:
     #: scheduler backend under test ("heap" | "wheel"); the differential
     #: tests run the same spec on both and require identical digests
     scheduler: str = "heap"
+    #: overload-control knobs (E13). ``overload`` multiplies the offered
+    #: rate by compressing the post interval (2.0 = the same posts in
+    #: half the time); the admission/flow knobs default off, so default
+    #: specs stay digest-identical to pre-overload runs
+    overload: float = 1.0
+    admission_high: int | None = None
+    admission_low: int | None = None
+    overload_policy: str = "drop"
+    flow_credits: int | None = None
+
+    @property
+    def effective_post_interval(self) -> float:
+        return self.post_interval / self.overload
 
     @property
     def active_time(self) -> float:
-        return self.posts * self.post_interval
+        return self.posts * self.effective_post_interval
 
 
 @dataclass
@@ -327,6 +340,10 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
         poison_threshold=spec.poison_threshold,
         heartbeat_interval=spec.heartbeat_interval,
         scheduler=spec.scheduler,
+        admission_high=spec.admission_high,
+        admission_low=spec.admission_low,
+        overload_policy=spec.overload_policy,
+        flow_credits=spec.flow_credits,
         rpc_default_timeout=0.5, trace_net=False))
     cluster.register_event(CHAOS_EVENT)
     sim, faults = cluster.sim, cluster.fabric.faults
@@ -415,7 +432,8 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
                                       user_data=pid)
 
     for pid, node in enumerate(post_targets):
-        sim.call_at(t0 + pid * spec.post_interval, fire_post, pid, node)
+        sim.call_at(t0 + pid * spec.effective_post_interval,
+                    fire_post, pid, node)
 
     crashes: list[tuple[float, int]] = []
 

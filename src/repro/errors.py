@@ -66,6 +66,16 @@ class UndeliverableError(NetworkError):
     """
 
 
+class OverloadShedError(UndeliverableError):
+    """The post was shed by admission control.
+
+    The raiser's node (or the target's home) was over its admission
+    high watermark and the ``overload_policy`` rejected the post. Like
+    every undeliverable outcome this is surfaced as a bounded-time
+    notice (§7.2), never a silent loss.
+    """
+
+
 class NameServiceError(KernelError):
     """A name lookup or registration failed."""
 

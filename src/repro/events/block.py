@@ -95,7 +95,7 @@ class EventBlock:
     __slots__ = ("event", "raiser_tid", "raiser_node", "target",
                  "synchronous", "user_data", "snapshot", "raised_at",
                  "delivered_at", "block_id", "durable_id",
-                 "_resume_token")
+                 "_resume_token", "degraded", "_admission")
 
     def __init__(self, event: str, raiser_tid: object = None,
                  raiser_node: int | None = None, target: object = None,
@@ -118,6 +118,14 @@ class EventBlock:
         #: handler can resume a synchronously-blocked raiser early via
         #: ctx.resume_raiser.
         self._resume_token: Any = None
+        #: Overload control: True when the admission gate downgraded
+        #: this post from reliable to fire-and-forget (``degrade``
+        #: policy); the post then rides a single datagram with a
+        #: deadline backstop instead of retransmit-until-acked.
+        self.degraded: bool = False
+        #: Admission charge token ``(gate node, tenant)`` while the post
+        #: occupies gate depth; cleared (idempotently) at conclusion.
+        self._admission: tuple[int, int] | None = None
 
     def __repr__(self) -> str:
         return (f"EventBlock(event={self.event!r}, "

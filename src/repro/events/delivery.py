@@ -19,6 +19,7 @@ This module implements the paper's contribution proper (§3–§5, §7):
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import (
@@ -32,11 +33,20 @@ from repro.errors import (
     HandlerContextError,
     InvocationAborted,
     NoHandlerError,
+    OverloadShedError,
     ThreadTerminated,
     UndeliverableError,
     UnknownObjectError,
 )
 from repro.events import defaults, names
+from repro.events.admission import (
+    ADMIT,
+    DEFER,
+    DEGRADE,
+    DROP,
+    GATE_COUNTERS,
+    AdmissionGate,
+)
 from repro.events.block import EventBlock
 from repro.events.handlers import Decision, HandlerContext, HandlerRegistration
 from repro.events.supervise import HandlerSupervisor
@@ -57,6 +67,7 @@ from repro.kernel.config import (
     LOCATE_BROADCAST,
     LOCATE_MULTICAST,
     LOCATE_PATH,
+    OVERLOAD_DEGRADE,
 )
 from repro.net.message import Message
 from repro.net.stats import LatencyReservoir
@@ -148,6 +159,26 @@ class EventManager:
         #: node, so accounting harnesses record it here, not by scanning
         #: queues at end of run
         self.on_quarantine: Any = None
+        #: overload control: one admission gate per node when the
+        #: ``admission_high`` knob is on, else None (zero bookkeeping)
+        config = cluster.config
+        if config.admission_high is not None:
+            self.admission: dict[int, AdmissionGate] | None = {
+                node: AdmissionGate(node, config.admission_high,
+                                    config.admission_low,
+                                    config.tenant_weights)
+                for node in cluster.kernels}
+        else:
+            self.admission = None
+        #: observer hook ``(block, target, action) -> None`` invoked when
+        #: the admission gate sheds a post (action: drop/degrade/defer);
+        #: the overload bench uses it to account every shed post
+        self.on_shed: Any = None
+        #: receiver-side dedup for degraded (fire-and-forget) object
+        #: posts, per node: without a rel header the channel cannot
+        #: suppress fabric duplicates, so the manager remembers recent
+        #: degraded block ids instead (bounded by ``dedup_window``)
+        self._degraded_seen: dict[int, "OrderedDict[int, None]"] = {}
         #: per-delivery (event, raise->deliver virtual latency) samples —
         #: a bounded reservoir so long runs stop accumulating memory
         self.delivery_latencies = LatencyReservoir(
@@ -284,7 +315,23 @@ class EventManager:
         durable = (self.cluster.config.durable_delivery
                    and from_node in self.cluster.kernels)
         store = self.cluster.kernels[from_node].store if durable else None
+        members = (self.cluster.groups.sorted_members(target)
+                   if isinstance(target, GroupId) else None)
+        if self.admission is not None:
+            verdict = self._admission_verdict(from_node, block, target,
+                                              members, durable)
+            if verdict == DROP:
+                return self._shed_drop(from_node, block, target)
+            if verdict == DEFER:
+                return self._shed_defer(from_node, store, block, target,
+                                        members)
+            if verdict == DEGRADE:
+                # Only non-durable object posts degrade: the reliable
+                # retransmit loop is replaced by one datagram plus a
+                # deadline backstop (armed in _post_object).
+                block.degraded = True
         if isinstance(target, Capability):
+            self._charge_admission(target.home, block)
             if store is not None:
                 store.journal_post(block, "object", target.home)
             self._post_object(from_node, block, target)
@@ -295,7 +342,6 @@ class EventManager:
             # batch is journaled as one group commit, and one enqueue
             # pass posts them — the delivery stack is set up once per
             # multicast, not once per recipient.
-            members = self.cluster.groups.sorted_members(target)
             event, raiser_tid = block.event, block.raiser_tid
             raiser_node, synchronous = block.raiser_node, block.synchronous
             user_data, raised_at = block.user_data, block.raised_at
@@ -311,6 +357,9 @@ class EventManager:
                     user_data=user_data, raised_at=raised_at)
                 member_block._resume_token = token
                 blocks.append(member_block)
+            if self.admission is not None:
+                for member_block in blocks:
+                    self._charge_admission(from_node, member_block)
             if store is not None and blocks:
                 # The whole fan-out is known before the first send, so
                 # write-ahead it as one group commit.
@@ -322,10 +371,142 @@ class EventManager:
             return len(members)
         # single thread
         block._resume_token = block.block_id
+        self._charge_admission(from_node, block)
         if store is not None:
             store.journal_post(block, "thread")
         self._post_thread(from_node, block.target, block)
         return 1
+
+    # ------------------------------------------------------------------
+    # admission control (overload shedding)
+    # ------------------------------------------------------------------
+
+    def _admission_verdict(self, from_node: int, block: EventBlock,
+                           target: Any, members: Any,
+                           durable: bool) -> str:
+        """Gate one raise; called only when admission control is on.
+
+        The gate charged is the *admission node's*: the target object's
+        home for object posts (the node whose handler queue the post
+        occupies), the raiser's node otherwise. Tenant identity is the
+        raiser node, so weighted-fair shares apply across the raisers
+        feeding one hot node.
+        """
+        gate_node = (target.home if isinstance(target, Capability)
+                     else from_node)
+        gate = self.admission.get(gate_node)
+        if gate is None:
+            return ADMIT
+        tenant = (block.raiser_node if block.raiser_node is not None
+                  else from_node)
+        n = len(members) if members is not None else 1
+        if n == 0 or gate.admit(tenant, n):
+            return ADMIT
+        if durable:
+            # Durable posts are never dropped: the journal already
+            # guarantees them, so shedding degrades to deferral.
+            gate.counters["shed_deferred"] += n
+            return DEFER
+        if (self.cluster.config.overload_policy == OVERLOAD_DEGRADE
+                and isinstance(target, Capability)):
+            gate.counters["shed_degraded"] += n
+            return DEGRADE
+        # drop policy, defer policy on a non-durable post, or degrade of
+        # a thread-targeted post (the locate handshake *is* the delivery
+        # guarantee for threads — nothing to degrade to): shed outright.
+        gate.counters["shed_dropped"] += n
+        return DROP
+
+    def _charge_admission(self, gate_node: int, block: EventBlock) -> None:
+        if self.admission is None:
+            return
+        gate = self.admission.get(gate_node)
+        if gate is None:
+            return
+        tenant = (block.raiser_node if block.raiser_node is not None
+                  else gate_node)
+        gate.charge(tenant)
+        block._admission = (gate_node, tenant)
+
+    def _release_admission(self, block: EventBlock) -> None:
+        """Idempotently return the block's admission charge (handling
+        concluded: executed, noticed, quarantined, or timed out)."""
+        token = block._admission
+        if token is None or self.admission is None:
+            return
+        block._admission = None
+        gate = self.admission.get(token[0])
+        if gate is not None:
+            gate.release(token[1])
+
+    def _shed_drop(self, from_node: int, block: EventBlock,
+                   target: Any) -> int:
+        """Reject a post at the gate with a §7.2-style notice."""
+        self.undeliverable += 1
+        block._resume_token = block.block_id
+        self.cluster.tracer.emit("event", "shed", event=block.event,
+                                 target=str(target), action="drop",
+                                 node=from_node)
+        if self.on_shed is not None:
+            self.on_shed(block, target, "drop")
+        if self.on_undeliverable is not None:
+            self.on_undeliverable(block, target)
+        self._complete_sync(block, None, OverloadShedError(
+            f"{block.event} -> {target} shed by admission control"),
+            from_node=from_node)
+        return 1
+
+    def _shed_defer(self, from_node: int, store: Any, block: EventBlock,
+                    target: Any, members: Any) -> int:
+        """Journal a durable post and park it straight into the outbox:
+        nothing is sent now; the flush timer (or the target's recovery
+        announcement) delivers it once the storm passes."""
+        self.cluster.tracer.emit("event", "shed", event=block.event,
+                                 target=str(target), action="defer",
+                                 node=from_node)
+        if self.on_shed is not None:
+            self.on_shed(block, target, "defer")
+        if isinstance(target, Capability):
+            entry = store.journal_post(block, "object", target.home)
+            store.defer(entry.entry_id)
+            return 1
+        if isinstance(target, GroupId):
+            blocks = []
+            for _ in members:
+                member_block = EventBlock(
+                    event=block.event, raiser_tid=block.raiser_tid,
+                    raiser_node=block.raiser_node, target=target,
+                    synchronous=block.synchronous,
+                    user_data=block.user_data, raised_at=block.raised_at)
+                member_block._resume_token = block.block_id
+                blocks.append(member_block)
+            entries = store.journal_post_batch(
+                [(b, "thread", None) for b in blocks])
+            for entry in entries:
+                store.defer(entry.entry_id)
+            return len(members)
+        block._resume_token = block.block_id
+        entry = store.journal_post(block, "thread")
+        store.defer(entry.entry_id)
+        return 1
+
+    def admission_stats(self) -> dict[str, int]:
+        """Cluster-wide admission counters plus live/high-water depth
+        (zeros when the gate is off; aggregated by
+        :meth:`Cluster.supervision_stats`)."""
+        totals = {name: 0 for name in GATE_COUNTERS}
+        totals["gate_depth"] = 0
+        totals["gate_depth_hwm"] = 0
+        totals["shed_windows"] = 0
+        if self.admission is None:
+            return totals
+        for gate in self.admission.values():
+            for name in GATE_COUNTERS:
+                totals[name] += gate.counters[name]
+            totals["gate_depth"] += gate.depth
+            totals["gate_depth_hwm"] += gate.depth_hwm
+            totals["shed_windows"] += gate.shed_windows
+        return totals
 
     def _post_thread(self, from_node: int, tid: ThreadId,
                      block: EventBlock) -> None:
@@ -368,6 +549,7 @@ class EventManager:
     def _dead_target(self, block: EventBlock, tid: Any) -> None:
         """§7.2: the sender of an event to a destroyed thread is notified."""
         self.dead_targets += 1
+        self._release_admission(block)
         # Threads are volatile (unlike objects): a durable post to a dead
         # thread resolves through this notice, never by redelivery — a
         # respawned thread is a *different* thread.
@@ -807,10 +989,42 @@ class EventManager:
             self.cluster.sim.call_soon(self._handle_object_post,
                                        cap.home, block, cap.oid)
             return
+        if block.degraded:
+            # Shed to fire-and-forget: one datagram, no retransmission —
+            # overload must not amplify traffic. The deadline backstop
+            # below turns a lost datagram into a bounded-time notice
+            # instead of a silent loss.
+            self.cluster.kernels[from_node].transmit_unreliable(Message(
+                src=from_node, dst=cap.home, mtype=MSG_POST_OBJECT,
+                size=128, payload={"block": block, "oid": cap.oid}))
+            self._arm_degrade_backstop(block, cap)
+            return
         self.cluster.transmit(Message(
             src=from_node, dst=cap.home, mtype=MSG_POST_OBJECT, size=128,
             payload={"block": block, "oid": cap.oid}),
             on_give_up=lambda m: self._object_post_failed(block, cap))
+
+    def _arm_degrade_backstop(self, block: EventBlock,
+                              cap: Capability) -> None:
+        """Bound a degraded post's fate: if neither execution nor any
+        other conclusion released its admission charge by the deadline,
+        the raiser gets the undeliverable notice."""
+        deadline = self.cluster.config.post_deadline
+        if deadline is None:
+            deadline = self.cluster.config.locate_timeout
+
+        def backstop() -> None:
+            if block._admission is None:
+                return  # concluded in time
+            self._release_admission(block)
+            self.undeliverable += 1
+            if self.on_undeliverable is not None:
+                self.on_undeliverable(block, cap)
+            self._complete_sync(block, None, UndeliverableError(
+                f"degraded {block.event} to object {cap.oid} unresolved "
+                f"after {deadline}s"), from_node=block.raiser_node or 0)
+
+        self.cluster.sim.call_after(deadline, backstop)
 
     def _object_post_failed(self, block: EventBlock, cap: Capability) -> None:
         """A reliable object post exhausted its retransmission budget."""
@@ -884,9 +1098,26 @@ class EventManager:
             # Redelivered duplicate: already executed here (the applied
             # set re-acked it) or already queued for execution.
             return
+        if block.degraded and not self._accept_degraded(node, block):
+            return  # fabric-duplicated fire-and-forget datagram
         self.cluster.tracer.emit("event", "deliver-object",
                                  event=block.event, oid=oid, node=node)
         self._run_object_post(node, block, oid)
+
+    def _accept_degraded(self, node: int, block: EventBlock) -> bool:
+        """Receiver-side dedup for degraded posts: no rel header means
+        the reliable channel cannot suppress fabric duplicates, so the
+        manager remembers recent degraded block ids per node (bounded
+        by ``dedup_window``, like the channel's out-of-order window)."""
+        seen = self._degraded_seen.get(node)
+        if seen is None:
+            seen = self._degraded_seen[node] = OrderedDict()
+        if block.block_id in seen:
+            return False
+        seen[block.block_id] = None
+        while len(seen) > self.cluster.config.dedup_window:
+            seen.popitem(last=False)
+        return True
 
     def _run_object_post(self, node: int, block: EventBlock,
                          oid: int) -> None:
@@ -1019,6 +1250,10 @@ class EventManager:
 
     def _complete_sync(self, block: EventBlock, value: Any,
                        error: BaseException | None, from_node: int) -> None:
+        # Every conclusion path funnels through here (executed, noticed,
+        # quarantined, give-up), so the admission charge comes back here
+        # for synchronous and asynchronous posts alike.
+        self._release_admission(block)
         if not block.synchronous:
             if error is not None:
                 self.cluster.tracer.emit("event", "async-error",

@@ -187,7 +187,7 @@ class Cluster:
 
     def supervision_stats(self) -> dict[str, int]:
         """Supervisor counters plus cluster-wide detector / dead-letter
-        sums."""
+        sums and the admission gate's shed/defer/depth counters."""
         totals = dict(self.events.supervisor.stats())
         for kernel in self.kernels.values():
             for key, value in kernel.failure.stats().items():
@@ -195,6 +195,9 @@ class Cluster:
             for key, value in kernel.dead_letters.stats().items():
                 key = f"dead_letters_{key}"
                 totals[key] = totals.get(key, 0) + value
+        for key, value in self.events.admission_stats().items():
+            totals[f"admission_{key}"] = totals.get(
+                f"admission_{key}", 0) + value
         return totals
 
     def scheduler_stats(self) -> dict[str, Any]:

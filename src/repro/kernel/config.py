@@ -40,6 +40,17 @@ SCHEDULER_HEAP = "heap"
 SCHEDULER_WHEEL = "wheel"
 SCHEDULER_NAMES = (SCHEDULER_HEAP, SCHEDULER_WHEEL)
 
+#: Admission-control shedding policies (overload control, E13).
+#: ``drop`` rejects over-watermark posts with §7.2 undeliverable
+#: notices; ``degrade`` downgrades non-durable posts from reliable to
+#: fire-and-forget (durable posts are deferred instead); ``defer``
+#: parks durable posts in the transactional outbox for later flush
+#: (non-durable posts are dropped with a notice).
+OVERLOAD_DROP = "drop"
+OVERLOAD_DEGRADE = "degrade"
+OVERLOAD_DEFER = "defer"
+OVERLOAD_POLICY_NAMES = (OVERLOAD_DROP, OVERLOAD_DEGRADE, OVERLOAD_DEFER)
+
 
 @dataclass
 class ClusterConfig:
@@ -193,6 +204,36 @@ class ClusterConfig:
     #: Missed heartbeats before a peer is suspected; suspicion fails
     #: buddy posts fast instead of waiting out retransmission give-up.
     suspect_after: int = 3
+    #: Overload control (all default off: zero behaviour change and
+    #: bit-identical same-seed runs unless a knob is enabled).
+    #: Credit-based flow control: per-peer in-flight window on the
+    #: reliable channel. A sender may have at most this many unacked
+    #: messages outstanding to one peer; excess sends park until
+    #: cumulative acks replenish credits. The window is halved on
+    #: retransmission and recovered one credit per productive ack
+    #: (AIMD), so a struggling peer sheds incoming pressure. None
+    #: disables flow control (unbounded in-flight, the seed behaviour).
+    flow_credits: int | None = None
+    #: Admission-control high watermark: when a node's outstanding
+    #: admitted-post depth reaches this, new posts raised at the node
+    #: are shed per ``overload_policy`` until the depth drains to
+    #: ``admission_low``. None disables admission control.
+    admission_high: int | None = None
+    #: Admission-control low watermark (hysteresis): shedding stops once
+    #: depth falls back to this. Defaults to half of ``admission_high``.
+    admission_low: int | None = None
+    #: What to do with a post shed by admission control: ``drop``
+    #: (undeliverable notice, §7.2), ``degrade`` (reliable →
+    #: fire-and-forget for idempotent non-durable posts) or ``defer``
+    #: (park durable posts in the outbox for later flush). Durable
+    #: posts are never dropped: under ``drop``/``degrade`` they defer.
+    overload_policy: str = OVERLOAD_DROP
+    #: Weighted-fair admission while shedding: maps raiser node id to a
+    #: relative weight. While the gate is shedding, tenant t keeps
+    #: admitting until its share of ``admission_low`` (proportional to
+    #: its weight) is outstanding, so one hot tenant cannot starve the
+    #: rest. Empty = shed every tenant alike while over the watermark.
+    tenant_weights: dict = field(default_factory=dict)
     #: Discrete-event scheduler backend: ``heap`` (the bit-identical
     #: reference, default) or ``wheel`` (timing wheel / calendar queue;
     #: same execution order — the differential tests hold both to
@@ -276,5 +317,26 @@ class ClusterConfig:
             raise KernelError("handler_backoff must be non-negative")
         if self.suspect_after < 1:
             raise KernelError("suspect_after must be >= 1")
+        if self.flow_credits is not None and self.flow_credits < 1:
+            raise KernelError("flow_credits must be >= 1 or None")
+        if self.admission_high is not None:
+            if self.admission_high < 1:
+                raise KernelError("admission_high must be >= 1 or None")
+            if self.admission_low is None:
+                self.admission_low = max(1, self.admission_high // 2)
+            if not 1 <= self.admission_low <= self.admission_high:
+                raise KernelError(
+                    "admission_low must satisfy "
+                    "1 <= admission_low <= admission_high")
+        elif self.admission_low is not None:
+            raise KernelError("admission_low requires admission_high")
+        if self.overload_policy not in OVERLOAD_POLICY_NAMES:
+            raise KernelError(
+                f"unknown overload_policy {self.overload_policy!r}; "
+                f"choose from {OVERLOAD_POLICY_NAMES}")
+        for tenant, weight in self.tenant_weights.items():
+            if not isinstance(weight, (int, float)) or weight <= 0:
+                raise KernelError(
+                    f"tenant_weights[{tenant!r}] must be a positive number")
         if self.page_size < 1 or self.dsm_fields_per_page < 1:
             raise KernelError("page_size and dsm_fields_per_page must be >= 1")

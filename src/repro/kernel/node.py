@@ -45,7 +45,8 @@ class Kernel:
             max_retransmits=cluster.config.max_retransmits,
             dedup_window=cluster.config.dedup_window,
             ack_delay=cluster.config.ack_delay,
-            ack_piggyback=cluster.config.ack_piggyback)
+            ack_piggyback=cluster.config.ack_piggyback,
+            flow_credits=cluster.config.flow_credits)
         self.crashed = False
         self.timers = TimerService(cluster.sim, node_id)
         self.thread_table = ThreadTable(node_id)
@@ -120,6 +121,18 @@ class Kernel:
             self.reliable.send(message, on_give_up)
         else:
             self.fabric.send(message)
+
+    def transmit_unreliable(self, message: Message) -> None:
+        """Fire-and-forget send that bypasses the reliable channel.
+
+        Used by the admission gate's ``degrade`` policy: a shed
+        idempotent post is downgraded from retransmit-until-acked to a
+        single fabric datagram, so overload sheds retransmit pressure
+        instead of amplifying it. A crashed kernel sends nothing.
+        """
+        if self.crashed:
+            return
+        self.fabric.send(message)
 
     # ------------------------------------------------------------------
     # crash / recovery (crash-stop model; objects are persistent,

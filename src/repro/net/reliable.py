@@ -49,7 +49,7 @@ bit-identical.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import Callable
 
 from repro.net.fabric import Fabric
@@ -84,14 +84,24 @@ class _Peer:
     ``pending`` is insertion-ordered, and sequence numbers only grow, so
     its first entry is always the oldest unacked message — the one the
     retransmission timer drives.
+
+    With flow control on, ``window`` is the peer's current credit
+    allowance (AIMD: halved on retransmission, +1 per productive ack,
+    capped at the configured ``flow_credits``) and ``parked`` holds
+    sends awaiting a credit, in submission order. ``inflight_hwm``
+    tracks the high-water mark of unacked depth either way.
     """
 
-    __slots__ = ("next_seq", "pending", "timer")
+    __slots__ = ("next_seq", "pending", "timer", "window", "parked",
+                 "inflight_hwm")
 
-    def __init__(self) -> None:
+    def __init__(self, window: int | None) -> None:
         self.next_seq = 0
         self.pending: OrderedDict[int, _Pending] = OrderedDict()
         self.timer: Handle | None = None
+        self.window = window
+        self.parked: deque[tuple[Message, GiveUpFn | None]] = deque()
+        self.inflight_hwm = 0
 
 
 class ReliableChannel:
@@ -119,13 +129,21 @@ class ReliableChannel:
     ack_piggyback:
         Ride a pending cumulative ack on any reverse-direction data
         message instead of sending the dedicated ack envelope.
+    flow_credits:
+        Credit-based flow control: at most this many unacked messages
+        outstanding per peer. Excess sends park in submission order and
+        drain as cumulative acks replenish credits; the per-peer window
+        is halved on retransmission and recovered one credit per
+        productive ack (AIMD). ``None`` (the default) disables flow
+        control — unbounded in-flight, the pre-knob behaviour.
     """
 
     def __init__(self, sim: Simulator, fabric: Fabric, node_id: int, *,
                  rto_base: float = 4e-3, backoff: float = 2.0,
                  max_retransmits: int = 10, dedup_window: int = 1024,
                  ack_delay: float = 1e-3,
-                 ack_piggyback: bool = True) -> None:
+                 ack_piggyback: bool = True,
+                 flow_credits: int | None = None) -> None:
         self.sim = sim
         self.fabric = fabric
         self.node_id = node_id
@@ -135,6 +153,8 @@ class ReliableChannel:
         self.dedup_window = int(dedup_window)
         self.ack_delay = float(ack_delay)
         self.ack_piggyback = bool(ack_piggyback)
+        self.flow_credits = (None if flow_credits is None
+                             else int(flow_credits))
         self._peers: dict[int, _Peer] = {}
         # receiver side: per-sender cumulative floor (every seq <= floor
         # already seen) plus the out-of-order seqs above it
@@ -154,11 +174,15 @@ class ReliableChannel:
         self.bad_acks = 0
         #: well-formed acks that acknowledged nothing new
         self.stale_acks = 0
+        #: sends parked for lack of credits (flow control only)
+        self.flow_parked = 0
+        #: AIMD window halvings on retransmission (flow control only)
+        self.flow_halvings = 0
 
     def _peer(self, dst: int) -> _Peer:
         peer = self._peers.get(dst)
         if peer is None:
-            peer = self._peers[dst] = _Peer()
+            peer = self._peers[dst] = _Peer(self.flow_credits)
         return peer
 
     # ------------------------------------------------------------------
@@ -172,23 +196,43 @@ class ReliableChannel:
         Broadcast/multicast destinations and node-local messages bypass
         the reliability machinery (the local loopback never drops, and
         group delivery has no single acker); they go straight to the
-        fabric.
+        fabric. With flow control on, a send beyond the peer's credit
+        window parks instead of hitting the fabric and drains later as
+        acks replenish credits.
         """
         dst = message.dst
         if not isinstance(dst, int) or dst == self.node_id:
             self.fabric.send(message)
             return
         peer = self._peer(dst)
+        if (peer.window is not None
+                and (peer.parked or len(peer.pending) >= peer.window)):
+            peer.parked.append((message, on_give_up))
+            self.flow_parked += 1
+            return
+        self._dispatch(peer, dst, message, on_give_up)
+
+    def _dispatch(self, peer: _Peer, dst: int, message: Message,
+                  on_give_up: GiveUpFn | None) -> None:
+        """Stamp, track, and transmit one credit-holding send."""
         peer.next_seq += 1
         seq = peer.next_seq
         message.rel = (self.node_id, seq)
         peer.pending[seq] = _Pending(message, dst, on_give_up)
+        if len(peer.pending) > peer.inflight_hwm:
+            peer.inflight_hwm = len(peer.pending)
         self.sends += 1
         self._maybe_piggyback(message, dst)
         self.fabric.send(message)
         if peer.timer is None:
             peer.timer = self.sim.call_after(
                 self.rto_base, self._peer_timeout, dst)
+
+    def _unpark(self, peer: _Peer, dst: int) -> None:
+        """Drain parked sends into whatever credit window is free."""
+        while peer.parked and len(peer.pending) < peer.window:
+            message, on_give_up = peer.parked.popleft()
+            self._dispatch(peer, dst, message, on_give_up)
 
     def _maybe_piggyback(self, message: Message, dst: int) -> None:
         """Fold a pending delayed ack into an outbound data message.
@@ -223,7 +267,16 @@ class ReliableChannel:
             if pending.on_give_up is not None:
                 pending.on_give_up(pending.message)
         if not peer.pending:
+            if peer.window is not None:
+                # Give-ups freed the whole window; parked sends get
+                # their chance (each with a fresh retransmit budget).
+                self._unpark(peer, dst)
             return
+        if peer.window is not None:
+            # Multiplicative decrease: the timeout is the loss signal.
+            if peer.window > 1:
+                peer.window = max(1, peer.window // 2)
+                self.flow_halvings += 1
         pending.attempts += 1
         self.retransmits += 1
         # Re-send the same envelope object: the rel header is what the
@@ -291,20 +344,26 @@ class ReliableChannel:
         if popped == 0:
             self.stale_acks += 1
             return
+        if peer.window is not None and peer.window < self.flow_credits:
+            # Additive increase: one credit back per productive ack.
+            peer.window += 1
         if not peer.pending:
             if peer.timer is not None:
                 peer.timer.cancel()
                 peer.timer = None
-            return
-        oldest = next(iter(peer.pending))
-        if oldest != oldest_before:
-            # The timed entry retired; the new oldest inherits the timer
-            # at its own backoff.
-            if peer.timer is not None:
-                peer.timer.cancel()
-            attempts = next(iter(peer.pending.values())).attempts
-            delay = self.rto_base * (self.backoff ** (attempts - 1))
-            peer.timer = self.sim.call_after(delay, self._peer_timeout, src)
+        else:
+            oldest = next(iter(peer.pending))
+            if oldest != oldest_before:
+                # The timed entry retired; the new oldest inherits the
+                # timer at its own backoff.
+                if peer.timer is not None:
+                    peer.timer.cancel()
+                attempts = next(iter(peer.pending.values())).attempts
+                delay = self.rto_base * (self.backoff ** (attempts - 1))
+                peer.timer = self.sim.call_after(
+                    delay, self._peer_timeout, src)
+        if peer.window is not None:
+            self._unpark(peer, src)
 
     # ------------------------------------------------------------------
     # receiver side
@@ -399,6 +458,11 @@ class ReliableChannel:
                 peer.timer.cancel()
                 peer.timer = None
             peer.pending.clear()
+            # Parked sends die with the crash too (they were never on
+            # the wire; durable ones are re-issued from the journal).
+            peer.parked.clear()
+            if peer.window is not None:
+                peer.window = self.flow_credits
             # Sequence numbers keep counting up across the crash so the
             # recovered node's fresh sends are not mistaken for
             # duplicates (next_seq survives in the peer record).
@@ -413,12 +477,38 @@ class ReliableChannel:
         peer = self._peers.get(dst)
         return peer.next_seq if peer is not None else 0
 
+    def peer_stats(self) -> dict[int, dict[str, int]]:
+        """Per-peer in-flight depth, high-water mark, credit window and
+        parked-queue length (the depths the overload controller and the
+        E13 bench read)."""
+        out: dict[int, dict[str, int]] = {}
+        for dst, peer in self._peers.items():
+            out[dst] = {
+                "inflight": len(peer.pending),
+                "inflight_hwm": peer.inflight_hwm,
+                "window": (peer.window if peer.window is not None
+                           else -1),
+                "parked": len(peer.parked),
+            }
+        return out
+
     def stats(self) -> dict[str, int]:
-        return {"sends": self.sends, "retransmits": self.retransmits,
-                "gave_up": self.gave_up, "acks_sent": self.acks_sent,
-                "acks_piggybacked": self.acks_piggybacked,
-                "acks_coalesced": self.acks_coalesced,
-                "bad_acks": self.bad_acks, "stale_acks": self.stale_acks,
-                "duplicates_suppressed": self.duplicates_suppressed,
-                "pending": sum(len(p.pending)
-                               for p in self._peers.values())}
+        stats = {"sends": self.sends, "retransmits": self.retransmits,
+                 "gave_up": self.gave_up, "acks_sent": self.acks_sent,
+                 "acks_piggybacked": self.acks_piggybacked,
+                 "acks_coalesced": self.acks_coalesced,
+                 "bad_acks": self.bad_acks, "stale_acks": self.stale_acks,
+                 "duplicates_suppressed": self.duplicates_suppressed,
+                 "pending": sum(len(p.pending)
+                                for p in self._peers.values())}
+        if self.flow_credits is not None:
+            # Only present with the knob on: knobs-off runs keep the
+            # exact pre-flow-control stats shape (digest discipline).
+            stats["flow_parked"] = self.flow_parked
+            stats["flow_halvings"] = self.flow_halvings
+            stats["flow_queued"] = sum(len(p.parked)
+                                       for p in self._peers.values())
+            stats["inflight_hwm"] = max(
+                (p.inflight_hwm for p in self._peers.values()),
+                default=0)
+        return stats

@@ -124,6 +124,15 @@ class NodeStore:
         if self.outbox.park(entry_id):
             self._arm_flush()
 
+    def defer(self, entry_id: tuple[int, int]) -> None:
+        """Admission control shed a durable post: park it *without* a
+        first send. The journal already guarantees it; the flush timer
+        (or the target's recovery announcement) delivers it once the
+        overload passes."""
+        if self.outbox.park(entry_id):
+            self.outbox.deferred += 1
+            self._arm_flush()
+
     def on_store_ack(self, message: Message) -> None:
         """Kernel dispatch entry for :data:`MSG_STORE_ACK`."""
         self.resolve(message.payload["entry_id"],
@@ -380,10 +389,24 @@ class NodeStore:
         self._flush_timer = None
         if self.kernel.crashed:
             return
+        skipped = False
+        failure = self.kernel.failure
         for entry in self.outbox.parked():
+            # Futile-retransmit guard: re-dispatching toward a peer the
+            # failure detector currently suspects would burn the full
+            # max_retransmits budget against a dead node every flush
+            # period. Skip it and re-arm; the recovery announcement (or
+            # the suspicion clearing before the next tick) delivers.
+            if entry.dst is not None and failure.is_suspected(entry.dst):
+                self.outbox.flush_skips += 1
+                skipped = True
+                continue
             self._dispatch(entry)
-        # No immediate re-arm: a later give-up parks and re-arms; this
-        # keeps the simulation quiescent once everything resolves.
+        if skipped:
+            self._arm_flush()
+        # Otherwise no immediate re-arm: a later give-up parks and
+        # re-arms; this keeps the simulation quiescent once everything
+        # resolves.
 
     # ==================================================================
     # reporting

@@ -67,6 +67,11 @@ class Outbox:
         self.noticed = 0
         self.quarantined = 0
         self.redelivered = 0
+        #: posts parked straight from admission control (never sent yet)
+        self.deferred = 0
+        #: flush-tick re-dispatches skipped because the destination was
+        #: suspected by the failure detector (futile-retransmit guard)
+        self.flush_skips = 0
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -210,4 +215,14 @@ class Outbox:
             # (and digests built from them) are unchanged for runs that
             # never hit the dead-letter path.
             stats["quarantined"] = self.quarantined
+        # Same nonzero gating for the overload-control counters: runs
+        # that never shed/defer/skip keep the exact pre-change shape.
+        parked = sum(1 for e in self._pending.values()
+                     if e.status == PARKED)
+        if parked:
+            stats["parked"] = parked
+        if self.deferred:
+            stats["deferred"] = self.deferred
+        if self.flush_skips:
+            stats["flush_skips"] = self.flush_skips
         return stats
