@@ -1107,15 +1107,23 @@ class EventManager:
     def _accept_degraded(self, node: int, block: EventBlock) -> bool:
         """Receiver-side dedup for degraded posts: no rel header means
         the reliable channel cannot suppress fabric duplicates, so the
-        manager remembers recent degraded block ids per node (bounded
-        by ``dedup_window``, like the channel's out-of-order window)."""
+        manager remembers recent degraded block ids per node.
+
+        The window is sized by ``degrade_dedup_window`` when set,
+        falling back to the channel's ``dedup_window``: degraded
+        traffic is shed precisely when the system is drowning, so an
+        operator may want a *larger* receiver-side memory there than
+        the per-peer reliable window (an undersized window re-admits a
+        late fabric duplicate as a fresh post)."""
         seen = self._degraded_seen.get(node)
         if seen is None:
             seen = self._degraded_seen[node] = OrderedDict()
         if block.block_id in seen:
             return False
         seen[block.block_id] = None
-        while len(seen) > self.cluster.config.dedup_window:
+        config = self.cluster.config
+        window = config.degrade_dedup_window or config.dedup_window
+        while len(seen) > window:
             seen.popitem(last=False)
         return True
 

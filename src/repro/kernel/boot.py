@@ -27,8 +27,8 @@ from repro.objects.manager import ObjectManager
 from repro.dsm.manager import DsmManager
 from repro.sim.primitives import SimFuture
 from repro.sim.rng import RngRegistry
-from repro.sim.scheduler import make_simulator
 from repro.sim.trace import Tracer
+from repro.transport.base import make_transport
 from repro.store.journal import ClusterStore
 from repro.threads.attributes import IoChannel, ThreadAttributes
 from repro.threads.groups import GroupRegistry
@@ -49,15 +49,18 @@ class Cluster:
                  latency: LatencyModel | None = None,
                  faults: FaultPlan | None = None) -> None:
         self.config = config or ClusterConfig()
-        self.sim = make_simulator(self.config.scheduler,
-                                  wheel_tick=self.config.wheel_tick,
-                                  wheel_slots=self.config.wheel_slots)
+        #: the message medium (repro.transport): deterministic simulator,
+        #: one shard of a multi-process simulation, or real TCP sockets
+        self.transport = make_transport(self.config)
+        #: the transport's clock; a Simulator on the sim backends, a
+        #: wall-clock RealtimeScheduler on tcp — same scheduling surface
+        self.sim = self.transport.scheduler
         self.rng = RngRegistry(self.config.seed)
         self.tracer = Tracer(self.sim)
         if not self.config.trace_net:
             self.tracer.mute("net")
         self.fabric = Fabric(
-            self.sim,
+            self.transport,
             latency or FixedLatency(self.config.link_latency),
             faults=faults or FaultPlan(self.rng),
             tracer=self.tracer)
@@ -76,7 +79,11 @@ class Cluster:
         #: reach it; created before the nodes, which attach their
         #: NodeStore to their journal at construction.
         self.store = ClusterStore()
-        self.nodes = [Node(self, i) for i in range(self.config.n_nodes)]
+        #: global node ids hosted by *this* Cluster instance — all of
+        #: them on the single-process backends, one contiguous shard
+        #: block inside a sharded worker
+        self.local_node_ids = list(self.config.local_node_ids())
+        self.nodes = [Node(self, i) for i in self.local_node_ids]
         self.kernels = {node.node_id: node.kernel for node in self.nodes}
         for node in self.nodes:
             node.kernel.id_allocator = IdAllocator(node.node_id)
@@ -92,6 +99,10 @@ class Cluster:
         # is set; arming happens after wiring so beats can dispatch).
         for node in self.nodes:
             node.kernel.failure.start()
+        # Bring the medium up last: endpoints are all registered by now.
+        # A no-op for the in-process simulator; binds listening sockets
+        # for tcp and declares remote shard peers for sharded workers.
+        self.transport.start()
 
     # ------------------------------------------------------------------
     # messaging
@@ -212,8 +223,26 @@ class Cluster:
 
     def run(self, until: float | None = None,
             max_events: int | None = 2_000_000) -> None:
-        """Advance virtual time until idle (or ``until``)."""
+        """Advance time until idle (or ``until``).
+
+        Virtual time on the sim backends; wall-clock seconds since the
+        cluster was built on the tcp backend (where "idle" means no
+        pending timers and no frames in flight).
+        """
         self.sim.run(until=until, max_events=max_events)
+
+    def close(self) -> None:
+        """Release transport resources (sockets, worker pipes).
+
+        A no-op for the in-process simulator; tcp clusters should close
+        when done or loopback sockets linger until interpreter exit.
+        """
+        self.transport.close()
+
+    def transport_stats(self) -> dict[str, Any]:
+        """Backend counters from the transport port (frames moved,
+        bytes on the wire for tcp, cross-shard traffic for sharded)."""
+        return self.transport.stats()
 
     @property
     def now(self) -> float:

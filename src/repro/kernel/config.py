@@ -40,6 +40,31 @@ SCHEDULER_HEAP = "heap"
 SCHEDULER_WHEEL = "wheel"
 SCHEDULER_NAMES = (SCHEDULER_HEAP, SCHEDULER_WHEEL)
 
+#: Transport backends (:mod:`repro.transport`): ``sim`` is the
+#: deterministic single-process simulator (the bit-identical reference),
+#: ``sharded`` one shard of a conservatively-synchronized multi-process
+#: simulation, and ``tcp`` the same cluster on real asyncio sockets with
+#: wall-clock timers.
+TRANSPORT_BACKEND_SIM = "sim"
+TRANSPORT_BACKEND_SHARDED = "sharded"
+TRANSPORT_BACKEND_TCP = "tcp"
+TRANSPORT_BACKEND_NAMES = (TRANSPORT_BACKEND_SIM, TRANSPORT_BACKEND_SHARDED,
+                           TRANSPORT_BACKEND_TCP)
+
+
+def shard_bounds(n_nodes: int, shard_count: int,
+                 shard_index: int) -> tuple[int, int]:
+    """Contiguous node-id block ``[lo, hi)`` owned by one shard.
+
+    Remainder nodes go to the lowest-indexed shards, so every shard's
+    block is computable by every other shard without coordination.
+    """
+    base, rem = divmod(n_nodes, shard_count)
+    lo = shard_index * base + min(shard_index, rem)
+    hi = lo + base + (1 if shard_index < rem else 0)
+    return lo, hi
+
+
 #: Admission-control shedding policies (overload control, E13).
 #: ``drop`` rejects over-watermark posts with §7.2 undeliverable
 #: notices; ``degrade`` downgrades non-durable posts from reliable to
@@ -234,6 +259,33 @@ class ClusterConfig:
     #: its weight) is outstanding, so one hot tenant cannot starve the
     #: rest. Empty = shed every tenant alike while over the watermark.
     tenant_weights: dict = field(default_factory=dict)
+    #: Transport backend carrying every inter-node message
+    #: (:mod:`repro.transport`): ``sim`` — deterministic single-process
+    #: simulator, bit-identical to the pre-port tree; ``sharded`` — one
+    #: shard of a multi-process conservative-time-window simulation
+    #: (build whole runs through
+    #: :func:`repro.transport.sharded.run_sharded`); ``tcp`` — real
+    #: asyncio TCP sockets on loopback with wall-clock timers.
+    transport: str = TRANSPORT_BACKEND_SIM
+    #: Worker processes a ``sharded`` run partitions the nodes across.
+    shard_count: int = 1
+    #: Which shard this Cluster instance hosts (set by the sharded
+    #: runner inside each worker; None everywhere else).
+    shard_index: int | None = None
+    #: Conservative synchronization window (virtual seconds) for the
+    #: sharded backend; must not exceed the minimum cross-shard link
+    #: latency (the lookahead). None = use ``link_latency``.
+    shard_window: float | None = None
+    #: Bind host for the ``tcp`` backend's per-node listening sockets.
+    tcp_host: str = "127.0.0.1"
+    #: First listening port for the ``tcp`` backend (node i binds
+    #: ``tcp_base_port + i``); 0 = ephemeral ports chosen by the OS.
+    tcp_base_port: int = 0
+    #: Receiver-side dedup window for *degraded* (fire-and-forget)
+    #: posts: how many recent degraded block ids each node remembers per
+    #: peer to suppress fabric duplicates that carry no rel header.
+    #: None = follow ``dedup_window`` (the PR 7 behaviour).
+    degrade_dedup_window: int | None = None
     #: Discrete-event scheduler backend: ``heap`` (the bit-identical
     #: reference, default) or ``wheel`` (timing wheel / calendar queue;
     #: same execution order — the differential tests hold both to
@@ -249,6 +301,27 @@ class ClusterConfig:
     wheel_slots: int = 4096
     trace_net: bool = True
     extra: dict = field(default_factory=dict)
+
+    # -- transport helpers ---------------------------------------------
+
+    def local_node_ids(self) -> range:
+        """Global node ids this Cluster instance hosts.
+
+        Everything for the single-process backends; this shard's
+        contiguous block for a sharded worker.
+        """
+        if (self.transport == TRANSPORT_BACKEND_SHARDED
+                and self.shard_index is not None):
+            lo, hi = shard_bounds(self.n_nodes, self.shard_count,
+                                  self.shard_index)
+            return range(lo, hi)
+        return range(self.n_nodes)
+
+    def effective_shard_window(self) -> float:
+        """Lookahead window for conservative shard synchronization."""
+        if self.shard_window is not None:
+            return self.shard_window
+        return self.link_latency
 
     def __post_init__(self) -> None:
         if self.durable_delivery:
@@ -286,6 +359,34 @@ class ClusterConfig:
             raise KernelError(
                 f"unknown scheduler {self.scheduler!r}; "
                 f"choose from {SCHEDULER_NAMES}")
+        if self.transport not in TRANSPORT_BACKEND_NAMES:
+            raise KernelError(
+                f"unknown transport {self.transport!r}; "
+                f"choose from {TRANSPORT_BACKEND_NAMES}")
+        if self.shard_count < 1:
+            raise KernelError("shard_count must be >= 1")
+        if self.shard_count > self.n_nodes:
+            raise KernelError(
+                f"shard_count {self.shard_count} exceeds n_nodes "
+                f"{self.n_nodes} (a shard needs at least one node)")
+        if self.shard_index is not None and not (
+                0 <= self.shard_index < self.shard_count):
+            raise KernelError(
+                f"shard_index {self.shard_index} out of range for "
+                f"shard_count {self.shard_count}")
+        if self.shard_window is not None and self.shard_window <= 0:
+            raise KernelError("shard_window must be positive or None")
+        if (self.transport == TRANSPORT_BACKEND_SHARDED
+                and self.effective_shard_window() > self.link_latency):
+            raise KernelError(
+                "shard_window (the lookahead) must not exceed "
+                "link_latency: a cross-shard message could arrive "
+                "inside the window that sent it")
+        if not (0 <= self.tcp_base_port <= 65535):
+            raise KernelError("tcp_base_port must be within [0, 65535]")
+        if (self.degrade_dedup_window is not None
+                and self.degrade_dedup_window < 1):
+            raise KernelError("degrade_dedup_window must be >= 1 or None")
         if self.wheel_tick <= 0:
             raise KernelError("wheel_tick must be positive")
         if self.wheel_slots < 2:

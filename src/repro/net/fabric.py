@@ -3,9 +3,16 @@
 The fabric is the cluster's network: nodes register a delivery callback,
 and anything in the system sends :class:`~repro.net.message.Message`
 envelopes through :meth:`Fabric.send`, :meth:`Fabric.broadcast` or
-:meth:`Fabric.multicast`. Delivery is asynchronous in virtual time, with
-the delay chosen by a pluggable latency model and delivery fate decided by
-a fault plan. All traffic is counted and traced.
+:meth:`Fabric.multicast`. Delivery is asynchronous, with the delay chosen
+by a pluggable latency model and delivery fate decided by a fault plan.
+All traffic is counted and traced.
+
+Since the transport port extraction, the fabric no longer owns the
+medium: endpoint registration and timed message movement live behind a
+:class:`~repro.transport.base.Transport` (deterministic simulator,
+sharded multi-process simulator, or real TCP).  The fabric keeps
+everything semantic — fan-out, latency charging, fault injection,
+statistics, tracing — so those behave identically on every backend.
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable
 
-from repro.errors import NetworkError, UnknownNodeError
+from repro.errors import UnknownNodeError
 from repro.net.faults import FaultPlan
 from repro.net.latency import FixedLatency, LatencyModel
 from repro.net.message import (
@@ -25,19 +32,22 @@ from repro.net.message import (
 )
 from repro.net.multicast import MulticastRegistry
 from repro.net.stats import TrafficStats
-from repro.sim.scheduler import Simulator
 from repro.sim.trace import Tracer
+from repro.transport.base import Transport
 
 DeliveryFn = Callable[[Message], None]
 
 
 class Fabric:
-    """A simulated network of point-to-point links plus group delivery.
+    """A network of point-to-point links plus group delivery.
 
     Parameters
     ----------
-    sim:
-        Simulator providing virtual time.
+    transport:
+        The medium: a :class:`~repro.transport.base.Transport`, or — for
+        backward compatibility with direct construction in tests — a
+        bare :class:`~repro.sim.scheduler.Simulator`, which is wrapped
+        in a :class:`~repro.transport.simlocal.SimTransport`.
     latency:
         Latency model (defaults to 1 ms fixed).
     faults:
@@ -47,43 +57,43 @@ class Fabric:
         under the ``net`` category.
     """
 
-    def __init__(self, sim: Simulator, latency: LatencyModel | None = None,
+    def __init__(self, transport: Transport | Any,
+                 latency: LatencyModel | None = None,
                  faults: FaultPlan | None = None,
                  tracer: Tracer | None = None) -> None:
-        self.sim = sim
+        if not isinstance(transport, Transport):
+            from repro.transport.simlocal import SimTransport
+            transport = SimTransport(transport)
+        self.transport = transport
+        #: the transport's clock — the same object every kernel
+        #: schedules on (a Simulator on the sim backends)
+        self.sim = transport.scheduler
         self.latency = latency or FixedLatency()
         self.faults = faults or FaultPlan()
         self.tracer = tracer
         self.stats = TrafficStats()
         self.multicast_groups = MulticastRegistry()
-        self._endpoints: dict[int, DeliveryFn] = {}
-        #: every node id ever attached; a known-but-detached node is a
-        #: crashed machine and silently swallows traffic, while a node id
-        #: never seen is a programming error
-        self._known: set[int] = set()
+        transport.set_delivery_hook(self._deliver)
         # per-fabric message ids keep traces deterministic across runs
         self._msg_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
-    # topology
+    # topology (delegated to the transport's endpoint registry)
     # ------------------------------------------------------------------
 
     def attach(self, node_id: int, deliver: DeliveryFn) -> None:
         """Register a node's delivery callback."""
-        if node_id in self._endpoints:
-            raise NetworkError(f"node {node_id} already attached")
-        self._endpoints[node_id] = deliver
-        self._known.add(node_id)
+        self.transport.attach(node_id, deliver)
 
     def detach(self, node_id: int) -> None:
-        self._endpoints.pop(node_id, None)
+        self.transport.detach(node_id)
 
     @property
     def node_ids(self) -> list[int]:
-        return sorted(self._endpoints)
+        return self.transport.node_ids
 
     def __contains__(self, node_id: int) -> bool:
-        return node_id in self._endpoints
+        return node_id in self.transport
 
     # ------------------------------------------------------------------
     # sending
@@ -101,7 +111,7 @@ class Fabric:
             members = self.multicast_groups.members(group)
             self._fan_out(message, sorted(members), "multicast")
             return
-        if dst not in self._endpoints and dst not in self._known:
+        if not self.transport.routable(dst) and not self.transport.known(dst):
             raise UnknownNodeError(f"no node {dst!r} attached to fabric")
         self._transmit(message, int(dst))
 
@@ -144,7 +154,7 @@ class Fabric:
         if self.tracer is not None:
             self.tracer.emit("net", "send", src=message.src, dst=dst,
                              mtype=message.mtype, msg_id=message.msg_id)
-        if dst not in self._endpoints:
+        if not self.transport.routable(dst):
             # Known-but-detached destination: the node crashed. The wire
             # swallows the message; reliable channels retransmit until
             # the node recovers or the budget runs out.
@@ -161,7 +171,7 @@ class Fabric:
             # reliability header is shared so dedup still collapses them.
             copy = message if i == 0 else self._clone(message)
             delay = self.latency.delay(copy.src, dst, copy)
-            self.sim.call_after(delay, self._deliver, copy, dst)
+            self.transport.post(copy, dst, delay)
 
     def _clone(self, message: Message) -> Message:
         payload = message.payload
@@ -181,7 +191,7 @@ class Fabric:
                              mtype=message.mtype, msg_id=message.msg_id)
 
     def _deliver(self, message: Message, dst: int) -> None:
-        endpoint = self._endpoints.get(dst)
+        endpoint = self.transport.endpoint(dst)
         if endpoint is None:
             # Node detached while the message was in flight; the paper's
             # model treats this as a silent loss (fault tolerance is out

@@ -1,0 +1,205 @@
+"""Wall-clock scheduler over an asyncio loop (the tcp backend's clock).
+
+Every subsystem in the library schedules against the ``Simulator``
+surface — ``now`` / ``call_at`` / ``call_after`` / ``call_soon`` /
+``run`` / ``pending`` / ``stats``.  :class:`RealtimeScheduler`
+implements that surface with real time: timers are
+``loop.call_later`` entries, ``now`` is seconds of wall-clock since the
+scheduler was built, and :meth:`run` actually *blocks* the calling
+thread while the asyncio loop turns.
+
+Semantics kept from the simulator:
+
+* ``run(until=t)`` returns once ``now`` reaches ``t`` (so existing
+  drive loops like ``cluster.run(until=cluster.now + 0.25)`` behave as
+  "run for a quarter second");
+* ``run()`` with no deadline returns when the scheduler is **idle** —
+  no live timers and every registered idle hook (the transport's
+  "no frames in flight" check) agrees;
+* callbacks fire in non-decreasing time, ties in scheduling order
+  (asyncio's ``call_later`` guarantees FIFO per instant);
+* a callback exception aborts the run and re-raises from :meth:`run`,
+  like the simulator's synchronous propagation, instead of vanishing
+  into the loop's exception handler.
+
+What is *not* kept — determinism.  Wall-clock runs are not seed
+reproducible; that is the whole point of having the sim backends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+SCHEDULER_REALTIME = "realtime"
+
+
+class RealtimeHandle:
+    """Cancellation handle mirroring :class:`repro.sim.scheduler.Handle`."""
+
+    __slots__ = ("when", "seq", "_timer", "_scheduler", "_done")
+
+    def __init__(self, when: float, seq: int,
+                 scheduler: "RealtimeScheduler") -> None:
+        self.when = when
+        self.seq = seq
+        self._timer: asyncio.TimerHandle | None = None
+        self._scheduler = scheduler
+        self._done = False
+
+    def cancel(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        if self._timer is not None:
+            self._timer.cancel()
+        self._scheduler._pending -= 1
+
+    @property
+    def cancelled(self) -> bool:
+        return self._done
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostic only
+        state = "done/cancelled" if self._done else "pending"
+        return f"RealtimeHandle(when={self.when!r}, seq={self.seq}, {state})"
+
+
+class RealtimeScheduler:
+    """The ``Simulator`` surface on wall-clock time.
+
+    Parameters
+    ----------
+    poll:
+        Idle/deadline check period in seconds while :meth:`run` drives
+        the loop.  Timers themselves are native asyncio timers and do
+        not wait for a poll tick; only run-loop *exit* is polled.
+    """
+
+    backend = SCHEDULER_REALTIME
+
+    def __init__(self, poll: float = 0.005) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._t0 = self._loop.time()
+        self._seq = itertools.count()
+        self._pending = 0
+        self._events = 0
+        self._error: BaseException | None = None
+        self._poll = poll
+        #: zero-arg callables that must all return True for ``run()``
+        #: (no deadline) to consider the system idle
+        self._idle_hooks: list[Callable[[], bool]] = []
+        self._closed = False
+
+    # -- Simulator surface ---------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Seconds of wall-clock since the scheduler was created."""
+        return self._loop.time() - self._t0
+
+    @property
+    def events_processed(self) -> int:
+        return self._events
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    @property
+    def compactions(self) -> int:
+        return 0  # no lazy-cancellation queue to compact
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "now": self.now,
+            "pending": self._pending,
+            "events_processed": self._events,
+            "cancelled": 0,
+            "compactions": 0,
+        }
+
+    def call_at(self, when: float, fn: Callable[..., Any],
+                *args: Any) -> RealtimeHandle:
+        return self._schedule(max(0.0, when - self.now), when, fn, args)
+
+    def call_after(self, delay: float, fn: Callable[..., Any],
+                   *args: Any) -> RealtimeHandle:
+        delay = max(0.0, delay)
+        return self._schedule(delay, self.now + delay, fn, args)
+
+    def call_soon(self, fn: Callable[..., Any],
+                  *args: Any) -> RealtimeHandle:
+        return self._schedule(0.0, self.now, fn, args)
+
+    def _schedule(self, delay: float, when: float, fn: Callable[..., Any],
+                  args: tuple) -> RealtimeHandle:
+        if self._closed:
+            raise SimulationError("scheduler is closed")
+        handle = RealtimeHandle(when, next(self._seq), self)
+        self._pending += 1
+
+        def fire() -> None:
+            handle._done = True
+            self._pending -= 1
+            self._events += 1
+            try:
+                fn(*args)
+            except BaseException as exc:  # noqa: BLE001 - re-raised in run
+                if self._error is None:
+                    self._error = exc
+
+        handle._timer = self._loop.call_later(delay, fire)
+        return handle
+
+    def run(self, until: float | None = None,
+            max_events: int | None = 2_000_000) -> None:
+        """Drive the loop until ``until`` wall-seconds of scheduler time,
+        or (with no deadline) until timers and idle hooks drain."""
+        if self._closed:
+            raise SimulationError("scheduler is closed")
+
+        async def drive() -> None:
+            while True:
+                if self._error is not None:
+                    return
+                if max_events is not None and self._events >= max_events:
+                    return
+                if until is not None:
+                    remaining = until - self.now
+                    if remaining <= 0:
+                        return
+                    await asyncio.sleep(min(self._poll, remaining))
+                    continue
+                if self._pending == 0 and all(
+                        hook() for hook in self._idle_hooks):
+                    return
+                await asyncio.sleep(self._poll)
+
+        self._loop.run_until_complete(drive())
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    # -- realtime extras ------------------------------------------------
+
+    def add_idle_hook(self, hook: Callable[[], bool]) -> None:
+        """Register an extra idleness condition (frames in flight)."""
+        self._idle_hooks.append(hook)
+
+    def run_coroutine(self, coro: Any) -> Any:
+        """Run one coroutine to completion (transport setup/teardown)."""
+        return self._loop.run_until_complete(coro)
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        return self._loop
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._loop.close()

@@ -1,0 +1,381 @@
+"""Sharded multi-process simulation: conservative time-window PDES.
+
+The single-process simulator caps every run at one core.  This backend
+partitions the cluster's nodes into contiguous shards, runs one full
+kernel/event/durability stack per shard in its own worker process, and
+synchronizes the shards' virtual clocks with the classic **conservative
+time-window** protocol:
+
+* the *lookahead* ``L`` is the minimum cross-shard link latency — a
+  message sent at virtual time ``t`` cannot affect another shard before
+  ``t + L``;
+* all shards advance in lockstep windows of width ``W <= L``.  Within a
+  window each shard simulates independently (in parallel, on its own
+  core); any message addressed to a node owned by another shard is
+  buffered with its computed delivery time ``t_send + latency >=
+  window_end``;
+* at the window barrier, the parent collects every shard's outbound
+  buffer, routes each message to the owning shard, and delivers the
+  batch before the next window runs.  Arrivals are injected in sorted
+  ``(deliver_time, source_shard, send_seq)`` order, so the destination
+  simulator allocates sequence numbers deterministically — same-seed
+  sharded runs are bit-identical, just like the single-process ones.
+
+Messages cross the process boundary as pickled
+:class:`~repro.net.message.Message` envelopes over multiprocessing
+pipes (the parent is the hub).  Everything *above* the transport is the
+stock stack: reliable channels retransmit across shards, durable posts
+ack back to their origin shard, supervision quarantines remotely —
+none of those layers can tell the difference.
+
+Known v1 limits (documented, asserted where cheap): fabric
+``broadcast``/``multicast`` fan out over the *local* shard's endpoint
+registry only, and recovery announcements (:meth:`Cluster.
+node_recovered`) reach local peers only — run membership-style
+protocols on the single-process backends for now.
+
+Whole runs are driven by :func:`run_sharded`; ``ClusterConfig(
+transport="sharded", shard_index=i)`` is what each worker builds
+internally.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import time
+import traceback
+from dataclasses import dataclass, field, fields, replace
+from importlib import import_module
+from typing import Any, Callable
+
+from repro.errors import NetworkError
+from repro.kernel.config import ClusterConfig, shard_bounds
+from repro.transport.simlocal import SimTransport
+
+if False:  # pragma: no cover - typing only
+    from repro.net.message import Message
+    from repro.sim.scheduler import Simulator
+
+
+class ShardSimTransport(SimTransport):
+    """One shard's transport: local deliveries on the shard simulator,
+    cross-shard deliveries buffered for the window barrier.
+
+    Parameters
+    ----------
+    scheduler:
+        The shard's deterministic simulator.
+    local_nodes:
+        Global node ids this shard hosts.
+    all_nodes:
+        Every node id in the whole run (remote ids become routable).
+    lookahead:
+        Conservative window width; every buffered cross-shard message
+        must be deliverable no earlier than the end of the window that
+        sent it (checked at the barrier).
+    """
+
+    BACKEND = "sharded"
+
+    def __init__(self, scheduler: "Simulator", local_nodes: Any,
+                 all_nodes: Any, lookahead: float) -> None:
+        super().__init__(scheduler)
+        self._local = set(local_nodes)
+        self._remote = set(all_nodes) - self._local
+        for node_id in self._remote:
+            self.add_known(node_id)
+        self.lookahead = float(lookahead)
+        #: buffered (deliver_at, send_seq, message, dst) for the barrier
+        self._outbound: list[tuple[float, int, "Message", int]] = []
+        self._out_seq = itertools.count()
+        self.cross_sent = 0
+        self.cross_received = 0
+
+    def routable(self, node_id: int) -> bool:
+        # A remote id is always routable: whether the far node is alive
+        # is the owning shard's knowledge, exactly as a real wire cannot
+        # see the far end crash. Local ids follow the endpoint registry.
+        return node_id in self._endpoints or node_id in self._remote
+
+    def post(self, message: "Message", dst: int, delay: float) -> None:
+        if dst in self._remote:
+            self.cross_sent += 1
+            deliver_at = self.scheduler.now + delay
+            self._outbound.append(
+                (deliver_at, next(self._out_seq), message, dst))
+            return
+        super().post(message, dst, delay)
+
+    # -- barrier protocol (driven by the worker loop) -------------------
+
+    def take_outbound(self, window_end: float) -> list[tuple]:
+        """Drain the cross-shard buffer, enforcing the lookahead bound."""
+        out = self._outbound
+        self._outbound = []
+        for deliver_at, _seq, message, dst in out:
+            if deliver_at < window_end - 1e-12:
+                raise NetworkError(
+                    f"conservative-window violation: message "
+                    f"{message.mtype!r} to node {dst} computed delivery "
+                    f"{deliver_at!r} inside the sending window (end "
+                    f"{window_end!r}); cross-shard latency must be >= "
+                    f"the lookahead ({self.lookahead!r}s)")
+        return out
+
+    def inject(self, message: "Message", dst: int, deliver_at: float) -> None:
+        """Schedule an arrival merged in at the window barrier."""
+        self.cross_received += 1
+        self.scheduler.call_at(deliver_at, self._dispatch, message, dst)
+
+    def stats(self) -> dict[str, Any]:
+        data = super().stats()
+        data["cross_sent"] = self.cross_sent
+        data["cross_received"] = self.cross_received
+        return data
+
+
+# ----------------------------------------------------------------------
+# scenario plumbing
+# ----------------------------------------------------------------------
+
+#: a scenario is addressed as "package.module:function"; the function is
+#: called once per worker with a ShardContext after the shard cluster is
+#: built, and returns a zero-argument ``finish() -> dict`` callable that
+#: runs after the last window
+ScenarioFn = Callable[["ShardContext"], Callable[[], dict]]
+
+
+@dataclass
+class ShardContext:
+    """Everything a scenario needs to set up one shard's share."""
+
+    cluster: Any
+    shard_index: int
+    shard_count: int
+    n_nodes: int
+    local_nodes: range
+    args: dict = field(default_factory=dict)
+
+    def owner_shard(self, node_id: int) -> int:
+        """Which shard hosts a global node id."""
+        for shard in range(self.shard_count):
+            lo, hi = shard_bounds(self.n_nodes, self.shard_count, shard)
+            if lo <= node_id < hi:
+                return shard
+        raise NetworkError(f"node {node_id} outside the cluster")
+
+
+def resolve_scenario(path: str) -> ScenarioFn:
+    """Import ``"pkg.module:function"`` (workers re-import on spawn)."""
+    module_name, _, fn_name = path.partition(":")
+    if not fn_name:
+        raise NetworkError(
+            f"scenario must be 'module:function', got {path!r}")
+    fn = getattr(import_module(module_name), fn_name, None)
+    if fn is None:
+        raise NetworkError(f"no scenario {fn_name!r} in {module_name}")
+    return fn
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+def _config_kwargs(config: ClusterConfig) -> dict:
+    """A picklable kwargs dict rebuilding this config in a worker."""
+    return {f.name: getattr(config, f.name) for f in fields(config)}
+
+
+def _shard_worker(conn: Any, config_kwargs: dict, shard_index: int,
+                  scenario_path: str, scenario_args: dict) -> None:
+    """Worker main: build one shard's cluster, obey barrier commands."""
+    try:
+        from repro.kernel.boot import Cluster
+        config = ClusterConfig(**{**config_kwargs,
+                                  "shard_index": shard_index})
+        cluster = Cluster(config)
+        transport: ShardSimTransport = cluster.transport
+        ctx = ShardContext(cluster=cluster, shard_index=shard_index,
+                           shard_count=config.shard_count,
+                           n_nodes=config.n_nodes,
+                           local_nodes=config.local_node_ids(),
+                           args=dict(scenario_args))
+        finish = resolve_scenario(scenario_path)(ctx)
+        while True:
+            cmd = conn.recv()
+            tag = cmd[0]
+            if tag == "win":
+                _, window_end, inbound = cmd
+                # Arrivals come pre-sorted by (deliver_time, src shard,
+                # send seq): injection order decides the destination
+                # simulator's sequence numbers, hence determinism.
+                for deliver_at, blob, dst in inbound:
+                    transport.inject(pickle.loads(blob), dst, deliver_at)
+                cluster.run(until=window_end)
+                outbound = [
+                    (deliver_at, seq, pickle.dumps(message), dst)
+                    for deliver_at, seq, message, dst
+                    in transport.take_outbound(window_end)]
+                conn.send(("done", outbound, cluster.sim.pending))
+            elif tag == "finish":
+                conn.send(("result", finish(), transport.stats(),
+                           cluster.message_stats()))
+            elif tag == "exit":
+                return
+            else:  # pragma: no cover - protocol guard
+                raise NetworkError(f"unknown shard command {tag!r}")
+    except Exception:  # noqa: BLE001 - forwarded to the parent
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+@dataclass
+class ShardedReport:
+    """Outcome of one sharded run."""
+
+    #: per-shard dicts returned by the scenarios' ``finish``
+    shard_results: list[dict]
+    #: per-shard transport counters (cross_sent / cross_received / ...)
+    transport_stats: list[dict]
+    #: per-shard fabric traffic snapshots
+    message_stats: list[dict]
+    windows: int
+    virtual_time: float
+    wall_time: float
+
+    @property
+    def cross_shard_messages(self) -> int:
+        return sum(s.get("cross_sent", 0) for s in self.transport_stats)
+
+
+def run_sharded(config: ClusterConfig, scenario: str,
+                scenario_args: dict | None = None,
+                until: float | None = None,
+                max_windows: int = 1_000_000) -> ShardedReport:
+    """Run one conservatively-synchronized sharded simulation.
+
+    Parameters
+    ----------
+    config:
+        Cluster configuration with ``transport="sharded"`` and
+        ``shard_count`` set (``shard_index`` must be None — the runner
+        assigns one per worker).
+    scenario:
+        ``"module:function"`` path to the per-shard scenario.
+    scenario_args:
+        Plain-data kwargs handed to every shard's context.
+    until:
+        Stop after this much virtual time; None = run until every shard
+        is idle and no messages are in flight.
+    max_windows:
+        Safety valve against livelock (a window is one lookahead).
+    """
+    import multiprocessing as mp
+
+    if config.transport != "sharded":
+        raise NetworkError("run_sharded needs config.transport='sharded'")
+    if config.shard_index is not None:
+        raise NetworkError("leave shard_index unset; the runner assigns it")
+    window = config.effective_shard_window()
+    shard_count = config.shard_count
+    kwargs = _config_kwargs(config)
+    ctx = mp.get_context("spawn")
+    conns, workers = [], []
+    started = time.perf_counter()
+    try:
+        for shard in range(shard_count):
+            parent_conn, child_conn = ctx.Pipe()
+            worker = ctx.Process(
+                target=_shard_worker,
+                args=(child_conn, kwargs, shard, scenario,
+                      dict(scenario_args or {})),
+                daemon=True)
+            worker.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            workers.append(worker)
+
+        owner_of = {}
+        for shard in range(shard_count):
+            lo, hi = shard_bounds(config.n_nodes, shard_count, shard)
+            for node_id in range(lo, hi):
+                owner_of[node_id] = shard
+
+        inbound: list[list] = [[] for _ in range(shard_count)]
+        windows = 0
+        virtual_time = 0.0
+        while True:
+            windows += 1
+            if windows > max_windows:
+                raise NetworkError(
+                    f"sharded run exceeded max_windows={max_windows} "
+                    f"(livelock, or raise the cap for long runs)")
+            window_end = windows * window
+            for shard, conn in enumerate(conns):
+                batch = sorted(inbound[shard],
+                               key=lambda rec: (rec[0], rec[1], rec[2]))
+                conn.send(("win", window_end,
+                           [(t, blob, dst) for t, _s, _q, blob, dst
+                            in batch]))
+            inbound = [[] for _ in range(shard_count)]
+            in_flight = 0
+            pending_total = 0
+            for shard, conn in enumerate(conns):
+                reply = conn.recv()
+                if reply[0] == "error":
+                    raise NetworkError(
+                        f"shard {shard} failed:\n{reply[1]}")
+                _tag, outbound, pending = reply
+                pending_total += pending
+                for deliver_at, seq, blob, dst in outbound:
+                    inbound[owner_of[dst]].append(
+                        (deliver_at, shard, seq, blob, dst))
+                    in_flight += 1
+            virtual_time = window_end
+            if until is not None and window_end >= until:
+                break
+            if until is None and in_flight == 0 and pending_total == 0:
+                break
+
+        shard_results, transport_stats, message_stats = [], [], []
+        for shard, conn in enumerate(conns):
+            conn.send(("finish",))
+            reply = conn.recv()
+            if reply[0] == "error":
+                raise NetworkError(f"shard {shard} failed:\n{reply[1]}")
+            _tag, result, tstats, mstats = reply
+            shard_results.append(result)
+            transport_stats.append(tstats)
+            message_stats.append(mstats)
+        for conn in conns:
+            conn.send(("exit",))
+        for worker in workers:
+            worker.join(timeout=30)
+        return ShardedReport(shard_results=shard_results,
+                             transport_stats=transport_stats,
+                             message_stats=message_stats,
+                             windows=windows, virtual_time=virtual_time,
+                             wall_time=time.perf_counter() - started)
+    finally:
+        for conn in conns:
+            conn.close()
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=5)
+
+
+def sharded_config(base: ClusterConfig, n_nodes: int,
+                   shard_count: int) -> ClusterConfig:
+    """Convenience: re-target a config at a sharded run."""
+    return replace(base, transport="sharded", n_nodes=n_nodes,
+                   shard_count=shard_count, shard_index=None)

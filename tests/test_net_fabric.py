@@ -118,6 +118,96 @@ class TestMulticast:
         assert len(inboxes[2]) == 1
 
 
+class TestFanOutUnderFaults:
+    """Broadcast/multicast against one-way partitions and crashed
+    members: fan-out charges every copy, the faulty links eat theirs."""
+
+    def test_broadcast_under_one_way_partition(self):
+        plan = FaultPlan()
+        plan.partition({0}, {2}, one_way=True)
+        sim, fabric, inboxes = make_cluster(n=4, faults=plan)
+        count = fabric.broadcast(src=0, mtype="gossip")
+        sim.run()
+        # the copy toward the cut direction is charged then eaten
+        assert count == 3
+        assert len(inboxes[1]) == 1
+        assert len(inboxes[2]) == 0
+        assert len(inboxes[3]) == 1
+        assert fabric.stats.dropped == 1
+        # the healthy reverse direction still works
+        fabric.send(Message(src=2, dst=0, mtype="reply"))
+        sim.run()
+        assert len(inboxes[0]) == 1
+
+    def test_broadcast_skips_crashed_member(self):
+        sim, fabric, inboxes = make_cluster(n=4)
+        fabric.detach(2)  # fail-stop: endpoint gone, id still known
+        count = fabric.broadcast(src=0, mtype="gossip")
+        sim.run()
+        # a crashed node is not a broadcast target at all — the fan-out
+        # enumerates live endpoints, so no copy is charged or dropped
+        assert count == 2
+        assert len(inboxes[1]) == 1
+        assert inboxes[2] == []
+        assert len(inboxes[3]) == 1
+        assert fabric.stats.dropped == 0
+
+    def test_broadcast_drops_copy_to_node_crashing_in_flight(self):
+        sim, fabric, inboxes = make_cluster(n=3)
+        fabric.broadcast(src=0, mtype="gossip")
+        fabric.detach(1)  # crashes while the copies are on the wire
+        sim.run()
+        assert inboxes[1] == []
+        assert len(inboxes[2]) == 1
+        assert fabric.stats.dropped == 1
+
+    def test_multicast_under_one_way_partition(self):
+        plan = FaultPlan()
+        plan.partition({0}, {3}, one_way=True)
+        sim, fabric, inboxes = make_cluster(n=4, faults=plan)
+        for member in (1, 2, 3):
+            fabric.multicast_groups.join("g", member)
+        sent = fabric.multicast(src=0, group="g", mtype="m")
+        sim.run()
+        assert sent == 3  # membership decides the charge, not the cuts
+        assert len(inboxes[1]) == 1
+        assert len(inboxes[2]) == 1
+        assert len(inboxes[3]) == 0
+        assert fabric.stats.dropped == 1
+        # members behind the cut can still talk *to* the sender's side
+        fabric.send(Message(src=3, dst=0, mtype="m"))
+        sim.run()
+        assert len(inboxes[0]) == 1
+
+    def test_multicast_with_crashed_member(self):
+        sim, fabric, inboxes = make_cluster(n=4)
+        for member in (1, 2, 3):
+            fabric.multicast_groups.join("g", member)
+        fabric.detach(2)  # crashed but never left the group
+        sent = fabric.multicast(src=0, group="g", mtype="m")
+        sim.run()
+        # the group keeps its membership; the crashed member's copy is
+        # charged and swallowed by the wire (reliability lives above)
+        assert sent == 3
+        assert len(inboxes[1]) == 1
+        assert inboxes[2] == []
+        assert len(inboxes[3]) == 1
+        assert fabric.stats.dropped == 1
+
+    def test_one_way_heal_restores_multicast(self):
+        plan = FaultPlan()
+        plan.partition({0}, {1}, one_way=True)
+        sim, fabric, inboxes = make_cluster(n=3, faults=plan)
+        fabric.multicast_groups.join("g", 1)
+        fabric.multicast(src=0, group="g", mtype="m")
+        sim.run()
+        assert inboxes[1] == []
+        plan.heal({0}, {1})
+        fabric.multicast(src=0, group="g", mtype="m")
+        sim.run()
+        assert len(inboxes[1]) == 1
+
+
 class TestMulticastRegistry:
     def test_join_leave(self):
         reg = MulticastRegistry()

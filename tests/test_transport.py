@@ -1,0 +1,516 @@
+"""Tests for the transport port and its three backends.
+
+Covers the narrow :class:`~repro.transport.base.Transport` protocol
+(endpoint registry, factory, config knobs), the sharded backend's
+conservative-window buffering, the wall-clock
+:class:`~repro.transport.realtime.RealtimeScheduler`, the TCP loopback
+transport, and the ``degrade_dedup_window`` receiver-memory knob the
+degraded overload path sizes its dedup window with.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import Cluster, ClusterConfig
+from repro.errors import KernelError, NetworkError, SimulationError
+from repro.kernel.config import shard_bounds
+from repro.net.fabric import Fabric
+from repro.net.message import Message
+from repro.sim.scheduler import Simulator
+from repro.transport.base import (
+    TRANSPORT_BACKEND_NAMES,
+    Transport,
+    make_transport,
+)
+from repro.transport.realtime import RealtimeScheduler
+from repro.transport.sharded import ShardSimTransport, sharded_config
+from repro.transport.simlocal import SimTransport
+from repro.transport.tcp import AsyncioTransport
+
+from .conftest import make_cluster
+
+
+# ----------------------------------------------------------------------
+# the port itself: endpoint registry + factory
+# ----------------------------------------------------------------------
+
+class TestTransportPort:
+    def _transport(self):
+        return SimTransport(Simulator())
+
+    def test_attach_detach_and_lookup(self):
+        tp = self._transport()
+        seen = []
+        tp.attach(0, seen.append)
+        tp.attach(1, seen.append)
+        assert tp.node_ids == [0, 1]
+        assert 0 in tp and 2 not in tp
+        assert tp.endpoint(0) is not None
+        tp.detach(0)
+        assert tp.endpoint(0) is None
+        assert tp.node_ids == [1]
+        # detaching is idempotent (crash of an already-crashed node)
+        tp.detach(0)
+
+    def test_double_attach_rejected(self):
+        tp = self._transport()
+        tp.attach(0, lambda m: None)
+        with pytest.raises(NetworkError):
+            tp.attach(0, lambda m: None)
+
+    def test_known_outlives_detach(self):
+        # A detached node stays *known*: it is a crashed machine whose
+        # traffic the wire swallows, not an addressing error.
+        tp = self._transport()
+        tp.attach(3, lambda m: None)
+        tp.detach(3)
+        assert tp.known(3)
+        assert not tp.routable(3)
+        tp.add_known(9)  # a peer hosted elsewhere
+        assert tp.known(9) and not tp.routable(9)
+
+    def test_stats_schema(self):
+        tp = self._transport()
+        tp.attach(0, lambda m: None)
+        data = tp.stats()
+        assert data["backend"] == "sim"
+        assert data["attached"] == 1
+
+    def test_factory_builds_named_backends(self):
+        sim = make_transport(ClusterConfig(n_nodes=2))
+        assert isinstance(sim, SimTransport)
+        assert sim.backend_name() == "sim"
+        with pytest.raises(NetworkError, match="shard_index"):
+            make_transport(ClusterConfig(n_nodes=4, transport="sharded",
+                                         shard_count=2))
+        sharded = make_transport(ClusterConfig(
+            n_nodes=4, transport="sharded", shard_count=2, shard_index=1))
+        assert isinstance(sharded, ShardSimTransport)
+        assert sharded.backend_name() == "sharded"
+
+    def test_factory_rejects_unknown_backend(self):
+        class Fake:
+            transport = "carrier-pigeon"
+        with pytest.raises(NetworkError, match="carrier-pigeon"):
+            make_transport(Fake())
+
+    def test_fabric_wraps_bare_simulator(self):
+        # Back-compat: tests that build Fabric(Simulator()) directly
+        # get a SimTransport wrapped in transparently.
+        sim = Simulator()
+        fabric = Fabric(sim)
+        assert isinstance(fabric.transport, SimTransport)
+        assert fabric.sim is sim
+        inbox = []
+        fabric.attach(0, inbox.append)
+        fabric.attach(1, inbox.append)
+        fabric.send(Message(src=0, dst=1, mtype="t.ping"))
+        sim.run()
+        assert [m.mtype for m in inbox] == ["t.ping"]
+
+
+# ----------------------------------------------------------------------
+# config knobs
+# ----------------------------------------------------------------------
+
+class TestTransportConfig:
+    def test_backend_name_validated(self):
+        for name in TRANSPORT_BACKEND_NAMES:
+            kwargs = {"transport": name}
+            if name == "sharded":
+                kwargs.update(shard_count=2, shard_index=0)
+            ClusterConfig(n_nodes=4, **kwargs)
+        with pytest.raises(KernelError, match="unknown transport"):
+            ClusterConfig(n_nodes=4, transport="udp")
+
+    def test_shard_knobs_validated(self):
+        with pytest.raises(KernelError):
+            ClusterConfig(n_nodes=4, shard_count=0)
+        with pytest.raises(KernelError, match="exceeds n_nodes"):
+            ClusterConfig(n_nodes=2, shard_count=3)
+        with pytest.raises(KernelError, match="out of range"):
+            ClusterConfig(n_nodes=4, shard_count=2, shard_index=2)
+        with pytest.raises(KernelError, match="shard_window"):
+            ClusterConfig(n_nodes=4, shard_window=0.0)
+        # the conservative bound: lookahead must not exceed the minimum
+        # cross-shard latency or a message could land inside its own window
+        with pytest.raises(KernelError, match="lookahead"):
+            ClusterConfig(n_nodes=4, transport="sharded", shard_count=2,
+                          shard_index=0, link_latency=1e-3,
+                          shard_window=2e-3)
+
+    def test_tcp_and_dedup_knobs_validated(self):
+        with pytest.raises(KernelError, match="tcp_base_port"):
+            ClusterConfig(n_nodes=2, tcp_base_port=70000)
+        with pytest.raises(KernelError, match="degrade_dedup_window"):
+            ClusterConfig(n_nodes=2, degrade_dedup_window=0)
+        ClusterConfig(n_nodes=2, degrade_dedup_window=1)
+
+    def test_shard_bounds_partition_nodes(self):
+        # every (n, k) partition covers 0..n-1 exactly once, contiguously,
+        # with remainder nodes on the lowest-indexed shards
+        for n_nodes, shard_count in [(4, 1), (7, 2), (16, 4), (130, 8)]:
+            covered = []
+            sizes = []
+            for shard in range(shard_count):
+                lo, hi = shard_bounds(n_nodes, shard_count, shard)
+                assert lo <= hi
+                covered.extend(range(lo, hi))
+                sizes.append(hi - lo)
+            assert covered == list(range(n_nodes))
+            assert max(sizes) - min(sizes) <= 1
+            assert sizes == sorted(sizes, reverse=True)
+
+    def test_local_node_ids(self):
+        plain = ClusterConfig(n_nodes=6)
+        assert list(plain.local_node_ids()) == list(range(6))
+        shard = ClusterConfig(n_nodes=7, transport="sharded",
+                              shard_count=2, shard_index=1)
+        lo, hi = shard_bounds(7, 2, 1)
+        assert list(shard.local_node_ids()) == list(range(lo, hi))
+
+    def test_effective_shard_window_defaults_to_link_latency(self):
+        config = ClusterConfig(n_nodes=4, link_latency=3e-3)
+        assert config.effective_shard_window() == 3e-3
+        config = ClusterConfig(n_nodes=4, link_latency=3e-3,
+                               shard_window=1e-3)
+        assert config.effective_shard_window() == 1e-3
+
+    def test_sharded_config_helper(self):
+        base = ClusterConfig(n_nodes=2, locator="cached")
+        conf = sharded_config(base, n_nodes=32, shard_count=4)
+        assert conf.transport == "sharded"
+        assert conf.n_nodes == 32 and conf.shard_count == 4
+        assert conf.shard_index is None
+        assert conf.locator == "cached"
+
+
+# ----------------------------------------------------------------------
+# sharded backend: conservative-window buffering
+# ----------------------------------------------------------------------
+
+class TestShardSimTransport:
+    def _shard(self, lookahead=5e-3):
+        sim = Simulator()
+        tp = ShardSimTransport(sim, local_nodes=range(0, 2),
+                               all_nodes=range(0, 4), lookahead=lookahead)
+        return sim, tp
+
+    def test_local_post_delivers_on_shard_simulator(self):
+        sim, tp = self._shard()
+        inbox = []
+        tp.attach(0, inbox.append)
+        tp.attach(1, inbox.append)
+        tp.set_delivery_hook(lambda m, dst: tp.endpoint(dst)(m))
+        tp.post(Message(src=0, dst=1, mtype="t.local"), 1, 1e-3)
+        sim.run()
+        assert [m.mtype for m in inbox] == ["t.local"]
+        assert tp.cross_sent == 0 and not tp._outbound
+
+    def test_remote_post_buffers_for_barrier(self):
+        sim, tp = self._shard()
+        tp.attach(0, lambda m: None)
+        tp.post(Message(src=0, dst=2, mtype="t.cross"), 2, 5e-3)
+        tp.post(Message(src=0, dst=3, mtype="t.cross"), 3, 6e-3)
+        assert tp.cross_sent == 2
+        assert sim.pending == 0  # nothing scheduled locally
+        out = tp.take_outbound(window_end=5e-3)
+        assert [(dst, round(at, 6)) for at, _seq, _m, dst in out] == \
+            [(2, 0.005), (3, 0.006)]
+        assert tp.take_outbound(window_end=5e-3) == []  # drained
+
+    def test_remote_routable_without_endpoint(self):
+        _sim, tp = self._shard()
+        assert tp.routable(2) and tp.routable(3)  # other shard's nodes
+        assert not tp.routable(0)  # local but not attached yet
+        assert not tp.routable(99)  # not part of the run at all
+        assert tp.known(2) and not tp.known(99)
+
+    def test_window_violation_raises(self):
+        # a cross-shard message computed to arrive *inside* the sending
+        # window breaks conservative synchronization — loudly
+        sim, tp = self._shard(lookahead=5e-3)
+        tp.attach(0, lambda m: None)
+        tp.post(Message(src=0, dst=2, mtype="t.early"), 2, 1e-3)
+        with pytest.raises(NetworkError, match="conservative-window"):
+            tp.take_outbound(window_end=5e-3)
+
+    def test_inject_merges_arrival(self):
+        sim, tp = self._shard()
+        inbox = []
+        tp.attach(1, inbox.append)
+        tp.set_delivery_hook(lambda m, dst: tp.endpoint(dst)(m))
+        tp.inject(Message(src=2, dst=1, mtype="t.merged"), 1,
+                  deliver_at=7e-3)
+        sim.run()
+        assert [m.mtype for m in inbox] == ["t.merged"]
+        assert sim.now == pytest.approx(7e-3)
+        assert tp.cross_received == 1
+        stats = tp.stats()
+        assert stats["backend"] == "sharded"
+        assert stats["cross_sent"] == 0 and stats["cross_received"] == 1
+
+
+class TestShardedEndToEnd:
+    def test_small_sharded_run_is_deterministic(self):
+        from repro.bench.scale import ScaleSpec, run_scale_sharded
+        spec = ScaleSpec(n_nodes=8, shard_count=2, posts_per_node=10)
+        first = run_scale_sharded(spec)
+        second = run_scale_sharded(spec)
+        assert first["digest"] == second["digest"]
+        assert first["executed"] == first["raised"] == spec.total_posts
+        assert first["cross_shard"] > 0
+        assert first["per_node"] == second["per_node"]
+
+
+# ----------------------------------------------------------------------
+# wall-clock scheduler
+# ----------------------------------------------------------------------
+
+class TestRealtimeScheduler:
+    def test_timers_fire_in_order(self):
+        sched = RealtimeScheduler(poll=0.001)
+        try:
+            fired = []
+            sched.call_after(0.02, fired.append, "late")
+            sched.call_after(0.005, fired.append, "early")
+            sched.call_soon(fired.append, "now")
+            assert sched.pending == 3
+            sched.run()
+            assert fired == ["now", "early", "late"]
+            assert sched.pending == 0
+            assert sched.events_processed == 3
+        finally:
+            sched.close()
+
+    def test_cancel(self):
+        sched = RealtimeScheduler(poll=0.001)
+        try:
+            fired = []
+            handle = sched.call_after(0.01, fired.append, "cancelled")
+            sched.call_after(0.02, fired.append, "kept")
+            handle.cancel()
+            assert handle.cancelled
+            handle.cancel()  # idempotent
+            sched.run()
+            assert fired == ["kept"]
+        finally:
+            sched.close()
+
+    def test_run_until_is_a_wall_clock_slice(self):
+        sched = RealtimeScheduler(poll=0.001)
+        try:
+            fired = []
+            sched.call_after(0.01, fired.append, "inside")
+            sched.call_after(10.0, fired.append, "far-future")
+            sched.run(until=sched.now + 0.05)
+            assert fired == ["inside"]
+            assert sched.now >= 0.05
+            assert sched.pending == 1  # far-future timer still live
+        finally:
+            sched.close()
+
+    def test_callback_error_reraises_from_run(self):
+        sched = RealtimeScheduler(poll=0.001)
+        try:
+            def boom():
+                raise ValueError("kaboom")
+            sched.call_soon(boom)
+            with pytest.raises(ValueError, match="kaboom"):
+                sched.run()
+            # the stored error is consumed; the scheduler stays usable
+            fired = []
+            sched.call_soon(fired.append, "after")
+            sched.run()
+            assert fired == ["after"]
+        finally:
+            sched.close()
+
+    def test_idle_hooks_hold_run_open(self):
+        sched = RealtimeScheduler(poll=0.001)
+        try:
+            state = {"busy": True}
+            sched.add_idle_hook(lambda: not state["busy"])
+            sched.call_after(0.01, state.__setitem__, "busy", False)
+            sched.run()  # returns only once the hook agrees
+            assert not state["busy"]
+        finally:
+            sched.close()
+
+    def test_closed_scheduler_rejects_work(self):
+        sched = RealtimeScheduler()
+        sched.close()
+        sched.close()  # idempotent
+        with pytest.raises(SimulationError):
+            sched.call_soon(lambda: None)
+        with pytest.raises(SimulationError):
+            sched.run()
+
+    def test_stats_surface(self):
+        sched = RealtimeScheduler()
+        try:
+            data = sched.stats()
+            assert data["backend"] == "realtime"
+            assert data["pending"] == 0
+            assert sched.compactions == 0
+        finally:
+            sched.close()
+
+
+# ----------------------------------------------------------------------
+# TCP loopback transport
+# ----------------------------------------------------------------------
+
+class TestAsyncioTransport:
+    def _loopback(self, nodes=2):
+        tp = AsyncioTransport()
+        inboxes = {n: [] for n in range(nodes)}
+        for n in range(nodes):
+            tp.attach(n, inboxes[n].append)
+        tp.set_delivery_hook(lambda m, dst: tp.endpoint(dst)(m))
+        tp.start()
+        return tp, inboxes
+
+    def test_frames_cross_real_sockets(self):
+        tp, inboxes = self._loopback()
+        try:
+            tp.post(Message(src=0, dst=1, mtype="t.wire", payload=[1, 2]),
+                    1, 0.0)
+            tp.post(Message(src=1, dst=0, mtype="t.back"), 0, 0.0)
+            tp.scheduler.run()  # idle hook waits for in-flight frames
+            assert [m.mtype for m in inboxes[1]] == ["t.wire"]
+            assert inboxes[1][0].payload == [1, 2]
+            assert [m.mtype for m in inboxes[0]] == ["t.back"]
+            stats = tp.stats()
+            assert stats["backend"] == "tcp"
+            assert stats["frames_sent"] == stats["frames_received"] == 2
+            assert stats["in_flight"] == 0
+            assert stats["bytes_sent"] > 0
+            assert stats["oob_tokens"] == 0
+            assert len(tp.addresses) == 2
+        finally:
+            tp.close()
+
+    def test_unpicklable_payload_takes_oob_path(self):
+        tp, inboxes = self._loopback()
+        try:
+            marker = lambda: None  # noqa: E731 - locals don't pickle
+            with pytest.raises(Exception):
+                pickle.dumps(marker)
+            message = Message(src=0, dst=1, mtype="t.oob", payload=marker)
+            tp.post(message, 1, 0.0)
+            tp.scheduler.run()
+            assert inboxes[1] == [message]  # the very same live object
+            assert tp.stats()["oob_tokens"] == 1
+            assert not tp._oob  # token table drained on receipt
+        finally:
+            tp.close()
+
+    def test_post_to_closed_destination_is_swallowed(self):
+        tp, inboxes = self._loopback()
+        try:
+            tp._conns[1].close()
+            tp.post(Message(src=0, dst=1, mtype="t.void"), 1, 0.0)
+            tp.scheduler.run()
+            assert inboxes[1] == []
+            assert tp.stats()["in_flight"] == 0  # not leaked
+        finally:
+            tp.close()
+
+    def test_close_is_idempotent(self):
+        tp, _ = self._loopback()
+        tp.close()
+        tp.close()
+
+    def test_cluster_end_to_end_over_tcp(self):
+        # A whole Cluster on the tcp backend: a cross-node event post
+        # with the reliable channel on, over real loopback sockets.
+        from repro.objects.base import DistObject, on_event
+
+        class Sink(DistObject):
+            def __init__(self):
+                super().__init__()
+                self.seen = 0
+
+            @on_event("TCP_TEST")
+            def on_ping(self, ctx, block):
+                self.seen += 1
+                yield ctx.compute(0)
+
+        cluster = Cluster(ClusterConfig(n_nodes=2, transport="tcp",
+                                        reliable_delivery=True,
+                                        link_latency=1e-4,
+                                        trace_net=False))
+        try:
+            cluster.register_event("TCP_TEST")
+            cap = cluster.create_object(Sink, node=1)
+            for _ in range(5):
+                cluster.raise_event("TCP_TEST", cap, from_node=0)
+            deadline = cluster.now + 10.0
+            while (cluster.get_object(cap).seen < 5
+                   and cluster.now < deadline):
+                cluster.run(until=cluster.now + 0.1)
+            assert cluster.get_object(cap).seen == 5
+            assert cluster.transport_stats()["backend"] == "tcp"
+        finally:
+            cluster.close()
+
+
+# ----------------------------------------------------------------------
+# degrade_dedup_window sizing (satellite: receiver-side dedup memory)
+# ----------------------------------------------------------------------
+
+class _FakeBlock:
+    def __init__(self, block_id):
+        self.block_id = block_id
+
+
+class TestDegradeDedupWindow:
+    def test_undersized_window_readmits_late_duplicate(self):
+        # The sizing hazard the knob exists for: with only 2 slots of
+        # receiver memory, two fresh posts evict a block id and a late
+        # fabric duplicate of it is re-admitted as a fresh post.
+        cluster = make_cluster(n_nodes=2, degrade_dedup_window=2)
+        events = cluster.events
+        assert events._accept_degraded(1, _FakeBlock("a"))
+        assert not events._accept_degraded(1, _FakeBlock("a"))  # prompt dup
+        assert events._accept_degraded(1, _FakeBlock("b"))
+        assert events._accept_degraded(1, _FakeBlock("c"))  # evicts "a"
+        assert events._accept_degraded(1, _FakeBlock("a"))  # re-admitted!
+
+    def test_sized_window_rejects_late_duplicate(self):
+        cluster = make_cluster(n_nodes=2, degrade_dedup_window=10)
+        events = cluster.events
+        assert events._accept_degraded(1, _FakeBlock("a"))
+        assert events._accept_degraded(1, _FakeBlock("b"))
+        assert events._accept_degraded(1, _FakeBlock("c"))
+        assert not events._accept_degraded(1, _FakeBlock("a"))  # remembered
+
+    def test_window_is_per_node(self):
+        cluster = make_cluster(n_nodes=3, degrade_dedup_window=4)
+        events = cluster.events
+        assert events._accept_degraded(1, _FakeBlock("a"))
+        # the same block id arriving at another node is that node's
+        # first sighting — dedup memory is per receiver
+        assert events._accept_degraded(2, _FakeBlock("a"))
+
+    def test_default_follows_dedup_window(self):
+        cluster = make_cluster(n_nodes=2, dedup_window=3)
+        assert cluster.config.degrade_dedup_window is None
+        events = cluster.events
+        for bid in "abcd":
+            assert events._accept_degraded(1, _FakeBlock(bid))
+        # "a" was evicted once the 4th id overflowed the 3-slot window
+        assert events._accept_degraded(1, _FakeBlock("a"))
+
+    def test_knob_overrides_channel_window(self):
+        # same traffic, wider degrade window: the late duplicate now hits
+        cluster = make_cluster(n_nodes=2, dedup_window=3,
+                               degrade_dedup_window=8)
+        events = cluster.events
+        for bid in "abcd":
+            assert events._accept_degraded(1, _FakeBlock(bid))
+        assert not events._accept_degraded(1, _FakeBlock("a"))
