@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quick-mode E15 shard-speed smoke check for CI.
+
+Runs a scaled-down sharded pair (16 nodes / 2 shards, default knobs vs
+the legacy per-message/spawn protocol) and the sparse skip-ahead pair,
+asserts the observational-purity contract — bit-identical digests, no
+lost posts, fewer barriered windows under skip-ahead — and fails on a
+throughput regression against the committed ``BENCH_shardspeed.json``
+16-node default row.  The committed baseline was measured by the full
+sweep (200 posts/node); the quick run amortises worker boot over far
+fewer posts and CI runners are slower still, so
+``SHARDSPEED_SMOKE_MIN_FRACTION`` defaults to a loose 0.5 — the gate
+catches collapses (a knob silently off, per-message pickling back on),
+not jitter.
+
+Run:  PYTHONPATH=src python benchmarks/smoke_shardspeed.py
+"""
+
+import json
+import os
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+from repro.bench.scale import ScaleSpec  # noqa: E402
+from repro.bench.shardspeed import (  # noqa: E402
+    LEGACY_KNOBS,
+    run_sharded_with,
+    run_skip_pair,
+    sparse_spec,
+)
+
+SMOKE_SPEC = ScaleSpec(n_nodes=16, shard_count=2, posts_per_node=60)
+
+
+def main() -> None:
+    baseline_path = REPO_ROOT / "BENCH_shardspeed.json"
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    default_rows = [pair["default"] for pair in
+                    baseline["rows"]["sharded"]]
+    committed = min(row["posts_per_sec"] for row in default_rows
+                    if row["nodes"] == SMOKE_SPEC.n_nodes)
+    min_fraction = float(os.environ.get(
+        "SHARDSPEED_SMOKE_MIN_FRACTION", "0.5"))
+    floor = committed * min_fraction
+
+    fast = run_sharded_with(SMOKE_SPEC)
+    slow = run_sharded_with(SMOKE_SPEC, **LEGACY_KNOBS)
+    assert fast["digest"] == slow["digest"], (
+        f"codec/batching changed the run: {fast['digest'][:12]} != "
+        f"{slow['digest'][:12]}")
+    assert fast["executed"] == fast["raised"] == SMOKE_SPEC.total_posts
+    assert slow["executed"] == slow["raised"] == SMOKE_SPEC.total_posts
+
+    skip, dense = run_skip_pair(sparse_spec(quick=True))
+
+    rate = fast["posts_per_sec"]
+    assert rate >= floor, (
+        f"sharded throughput regression: {rate:.1f} posts/s is below "
+        f"{min_fraction:.0%} of the committed 16-node default row "
+        f"{committed} posts/s (floor {floor:.1f})")
+
+    print(f"smoke OK: {SMOKE_SPEC.total_posts} posts at "
+          f"{rate:.1f} posts/s (>= {min_fraction:.0%} of committed "
+          f"{committed}); default/legacy digests identical at "
+          f"{fast['digest'][:12]}; skip-ahead ran {skip['windows']} "
+          f"windows vs {dense['windows']} dense with identical digest "
+          f"{skip['digest'][:12]}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

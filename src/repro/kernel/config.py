@@ -65,6 +65,22 @@ def shard_bounds(n_nodes: int, shard_count: int,
     return lo, hi
 
 
+def shard_owner_map(n_nodes: int, shard_count: int) -> dict[int, int]:
+    """``node_id -> owning shard`` for every node, computed once.
+
+    Shared by the sharded runner's routing table and
+    :meth:`~repro.transport.sharded.ShardContext.owner_shard`, which
+    used to re-derive it with a linear scan over the shard bounds on
+    every call.
+    """
+    owner: dict[int, int] = {}
+    for shard in range(shard_count):
+        lo, hi = shard_bounds(n_nodes, shard_count, shard)
+        for node_id in range(lo, hi):
+            owner[node_id] = shard
+    return owner
+
+
 #: Admission-control shedding policies (overload control, E13).
 #: ``drop`` rejects over-watermark posts with §7.2 undeliverable
 #: notices; ``degrade`` downgrades non-durable posts from reliable to
@@ -274,8 +290,39 @@ class ClusterConfig:
     shard_index: int | None = None
     #: Conservative synchronization window (virtual seconds) for the
     #: sharded backend; must not exceed the minimum cross-shard link
-    #: latency (the lookahead). None = use ``link_latency``.
+    #: latency (the lookahead). None = use ``cross_shard_latency`` when
+    #: declared, else ``link_latency``.
     shard_window: float | None = None
+    #: Declared minimum *cross-shard* latency (virtual seconds) when a
+    #: custom latency model guarantees inter-shard messages are slower
+    #: than ``link_latency`` — the window may then stretch up to it,
+    #: cutting barrier rounds. The declaration is trusted at window
+    #: sizing time and still enforced per message at the barrier
+    #: (`take_outbound` raises on any violation). None = the fixed
+    #: model's ``link_latency`` is the lookahead.
+    cross_shard_latency: float | None = None
+    #: Encode cross-process envelopes with the compact wire codec
+    #: (:mod:`repro.transport.codec`) instead of per-message pickle, on
+    #: both the sharded barrier pipes and TCP frames. Decoding rebuilds
+    #: objects exactly like unpickling (no id counters advance), so
+    #: same-seed digests are bit-identical either way.
+    wire_codec: bool = True
+    #: Ship one encoded blob per (shard, window) across the barrier
+    #: pipes instead of one pickle per message, and sort/merge arrivals
+    #: worker-side. Injection order is unchanged, so digests are
+    #: bit-identical; off = the PR 8 per-message protocol.
+    shard_window_batching: bool = True
+    #: Elide barrier rounds for quiescent windows: when no cross-shard
+    #: message is in flight, jump the window counter to the earliest
+    #: shard-reported next-event time (conservative: a skipped window
+    #: provably carried no traffic). Executed events and digests are
+    #: identical; only the number of barrier round-trips changes.
+    shard_quiescent_skip: bool = True
+    #: multiprocessing start method for sharded workers: ``fork`` skips
+    #: the ~0.2 s/worker interpreter re-import (workers reset module id
+    #: counters so runs stay bit-identical with ``spawn``); None =
+    #: ``fork`` where the platform offers it, else ``spawn``.
+    shard_start_method: str | None = None
     #: Bind host for the ``tcp`` backend's per-node listening sockets.
     tcp_host: str = "127.0.0.1"
     #: First listening port for the ``tcp`` backend (node i binds
@@ -321,6 +368,15 @@ class ClusterConfig:
         """Lookahead window for conservative shard synchronization."""
         if self.shard_window is not None:
             return self.shard_window
+        if self.cross_shard_latency is not None:
+            return self.cross_shard_latency
+        return self.link_latency
+
+    def effective_cross_shard_latency(self) -> float:
+        """The lookahead bound: declared cross-shard minimum latency,
+        or the fixed model's ``link_latency``."""
+        if self.cross_shard_latency is not None:
+            return self.cross_shard_latency
         return self.link_latency
 
     def __post_init__(self) -> None:
@@ -376,12 +432,26 @@ class ClusterConfig:
                 f"shard_count {self.shard_count}")
         if self.shard_window is not None and self.shard_window <= 0:
             raise KernelError("shard_window must be positive or None")
-        if (self.transport == TRANSPORT_BACKEND_SHARDED
-                and self.effective_shard_window() > self.link_latency):
+        if (self.cross_shard_latency is not None
+                and self.cross_shard_latency <= 0):
+            raise KernelError("cross_shard_latency must be positive or None")
+        if (self.cross_shard_latency is not None
+                and self.cross_shard_latency < self.link_latency):
             raise KernelError(
-                "shard_window (the lookahead) must not exceed "
-                "link_latency: a cross-shard message could arrive "
-                "inside the window that sent it")
+                "cross_shard_latency declares a *minimum* for messages "
+                "between shards and cannot be below link_latency")
+        if (self.transport == TRANSPORT_BACKEND_SHARDED
+                and self.effective_shard_window()
+                > self.effective_cross_shard_latency()):
+            raise KernelError(
+                "shard_window (the lookahead) must not exceed the "
+                "minimum cross-shard latency: a cross-shard message "
+                "could arrive inside the window that sent it")
+        if self.shard_start_method not in (None, "fork", "spawn",
+                                           "forkserver"):
+            raise KernelError(
+                f"unknown shard_start_method {self.shard_start_method!r}; "
+                f"choose fork, spawn, forkserver or None")
         if not (0 <= self.tcp_base_port <= 65535):
             raise KernelError("tcp_base_port must be within [0, 65535]")
         if (self.degrade_dedup_window is not None

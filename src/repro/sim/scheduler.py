@@ -275,6 +275,18 @@ class Simulator:
             return None
         return self._queue[0][0]
 
+    def peek_next(self) -> float | None:
+        """Virtual time of the next live callback without running it.
+
+        The sharded runner's quiescent skip-ahead uses this: when no
+        cross-shard traffic is in flight, every shard's earliest
+        pending time bounds how far the window counter may jump while
+        staying conservative. Works on both backends (each overrides
+        :meth:`_next_time`); cancelled entries are lazily purged, so
+        repeated peeks are cheap.
+        """
+        return self._next_time()
+
 
 class WheelSimulator(Simulator):
     """Timing-wheel / calendar-queue scheduler backend.

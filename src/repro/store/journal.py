@@ -36,8 +36,9 @@ Record types
 
 from __future__ import annotations
 
+import sys
 from collections import deque
-from dataclasses import dataclass, field
+from itertools import islice
 from typing import Any, Iterator
 
 from repro.errors import KernelError
@@ -66,15 +67,42 @@ RECORD_SIZES = {
     REC_CHECKPOINT: 512,
 }
 
+#: ``rtype -> (canonical interned rtype, size)``: one dict probe in the
+#: append hot path both validates the type and hands back the interned
+#: string to store, so downstream ``record.rtype == REC_POST`` checks
+#: hit CPython's pointer-equality fast path.
+_RTYPE_INFO = {name: (sys.intern(name), size)
+               for name, size in RECORD_SIZES.items()}
 
-@dataclass(frozen=True)
+#: pooled record slots a journal keeps per node (fed by truncation)
+_POOL_CAP = 512
+
+
 class JournalRecord:
-    """One appended record: a log sequence number, a type, and data."""
+    """One appended record: a log sequence number, a type, and data.
 
-    lsn: int
-    rtype: str
-    data: dict[str, Any] = field(default_factory=dict)
-    size: int = 0
+    A ``__slots__`` class rather than a frozen dataclass: the durable
+    path mints one of these per journaled operation (~3 per post), so
+    the dataclass ``__init__`` indirection and per-instance dict were
+    measurable churn — the named hotspot in BENCH_soak.json's durable
+    row. Instances are also recycled through a per-journal free list
+    fed by checkpoint truncation (truncated records are unreachable by
+    contract: replay only ever reads the latest checkpoint and its
+    tail).
+    """
+
+    __slots__ = ("lsn", "rtype", "data", "size")
+
+    def __init__(self, lsn: int, rtype: str,
+                 data: dict[str, Any] | None = None, size: int = 0) -> None:
+        self.lsn = lsn
+        self.rtype = rtype
+        self.data = {} if data is None else data
+        self.size = size
+
+    def __repr__(self) -> str:
+        return (f"JournalRecord(lsn={self.lsn!r}, rtype={self.rtype!r}, "
+                f"data={self.data!r}, size={self.size!r})")
 
 
 class NodeJournal:
@@ -98,6 +126,11 @@ class NodeJournal:
         #: the newest ``checkpoint`` record, indexed at append time so
         #: recovery never scans for it
         self._checkpoint_rec: JournalRecord | None = None
+        #: records appended after the newest checkpoint, maintained at
+        #: append time so :meth:`tail` never scans the retained log
+        self._tail_len = 0
+        #: free list of recycled record slabs (fed by truncation)
+        self._pool: list[JournalRecord] = []
         self.appends = 0
         self.bytes_appended = 0
         #: commit units: one per :meth:`append`, one per whole
@@ -114,16 +147,29 @@ class NodeJournal:
         return iter(self._records)
 
     def _stamp(self, rtype: str, data: dict[str, Any]) -> JournalRecord:
-        if rtype not in RECORD_SIZES:
+        info = _RTYPE_INFO.get(rtype)
+        if info is None:
             raise KernelError(f"unknown journal record type {rtype!r}")
-        record = JournalRecord(lsn=self._next_lsn, rtype=rtype, data=data,
-                               size=RECORD_SIZES[rtype])
+        rtype, size = info
+        pool = self._pool
+        if pool:
+            # pooled slab: overwrite every field (nothing survives)
+            record = pool.pop()
+            record.lsn = self._next_lsn
+            record.rtype = rtype
+            record.data = data
+            record.size = size
+        else:
+            record = JournalRecord(self._next_lsn, rtype, data, size)
         self._next_lsn += 1
         self._records.append(record)
         self.appends += 1
-        self.bytes_appended += record.size
-        if rtype == REC_CHECKPOINT:
+        self.bytes_appended += size
+        if rtype is REC_CHECKPOINT or rtype == REC_CHECKPOINT:
             self._checkpoint_rec = record
+            self._tail_len = 0
+        else:
+            self._tail_len += 1
         return record
 
     def append(self, rtype: str, **data: Any) -> JournalRecord:
@@ -143,7 +189,8 @@ class NodeJournal:
         """
         if not ops:
             return []
-        records = [self._stamp(rtype, data) for rtype, data in ops]
+        stamp = self._stamp
+        records = [stamp(rtype, data) for rtype, data in ops]
         self.commits += 1
         return records
 
@@ -156,11 +203,21 @@ class NodeJournal:
         return self._checkpoint_rec
 
     def tail(self) -> list[JournalRecord]:
-        """Records after the newest checkpoint (the replay suffix)."""
+        """Records after the newest checkpoint (the replay suffix).
+
+        Indexed at append time (``_tail_len``): appends are LSN-ordered,
+        so the suffix is exactly the newest ``_tail_len`` records —
+        O(tail), not the old O(retained) list comprehension over the
+        whole log.
+        """
         if self._checkpoint_rec is None:
             return list(self._records)
-        lsn = self._checkpoint_rec.lsn
-        return [r for r in self._records if r.lsn > lsn]
+        count = self._tail_len
+        if not count:
+            return []
+        suffix = list(islice(reversed(self._records), count))
+        suffix.reverse()
+        return suffix
 
     def replay(self) -> tuple[dict[str, Any] | None, list[JournalRecord]]:
         """(latest checkpoint state or None, records to replay after it)."""
@@ -182,9 +239,18 @@ class NodeJournal:
         like the old list rebuild.
         """
         dropped = 0
-        while self._records and self._records[0].lsn < lsn:
-            self._records.popleft()
+        records = self._records
+        pool = self._pool
+        free = _POOL_CAP - len(pool)
+        while records and records[0].lsn < lsn:
+            record = records.popleft()
             dropped += 1
+            if free > 0:
+                free -= 1
+                # recycle the slab; drop its payload reference so a
+                # truncated checkpoint's state snapshot is freed now
+                record.data = None
+                pool.append(record)
         if dropped:
             self.truncations += 1
             self.records_truncated += dropped

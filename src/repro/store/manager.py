@@ -23,7 +23,6 @@ their exact message counts.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import TYPE_CHECKING, Any
 
 from repro.net.message import Message
@@ -58,6 +57,51 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 MSG_STORE_ACK = "store.ack"
 
 
+class AppliedSnapshot:
+    """Checkpoint-time view of the applied-post dedup set.
+
+    Checkpoints used to freeze the whole set (``frozenset(applied)``).
+    The applied set only ever grows over a run, so on a long durable
+    run the copy at every checkpoint made checkpointing quadratic in
+    total posts — the dominant cost left on the durable path. Each
+    snapshot now chains to the previous checkpoint's and records only
+    the entries marked (``added``) or retracted (``removed``) since —
+    O(delta) per checkpoint. The full set is materialized only on the
+    rare path that reads a checkpoint back (recovery replay). Snapshots
+    are immutable once taken, so the history-isolation contract of the
+    old frozenset copy is preserved.
+    """
+
+    __slots__ = ("base", "added", "removed")
+
+    def __init__(self, base: "AppliedSnapshot | None",
+                 added: frozenset, removed: frozenset) -> None:
+        self.base = base
+        self.added = added
+        self.removed = removed
+
+    def materialize(self) -> set:
+        """Union of the whole chain, oldest delta first."""
+        chain = []
+        node: AppliedSnapshot | None = self
+        while node is not None:
+            chain.append(node)
+            node = node.base
+        result: set = set()
+        for node in reversed(chain):
+            result.update(node.added)
+            if node.removed:
+                result.difference_update(node.removed)
+        return result
+
+    def __iter__(self):
+        # ``set(state["applied"])`` in recovery works unchanged.
+        return iter(self.materialize())
+
+    def __len__(self) -> int:
+        return len(self.materialize())
+
+
 class NodeStore:
     """Durability services for one node (see module docstring)."""
 
@@ -71,6 +115,11 @@ class NodeStore:
         #: receiver-side dedup: durable posts already executed here
         #: (journaled; this set is the in-memory cache of those records)
         self.applied: set[tuple[int, int]] = set()
+        #: applied-set churn since the last checkpoint, feeding the
+        #: incremental :class:`AppliedSnapshot` chain
+        self._applied_base: AppliedSnapshot | None = None
+        self._applied_added: set[tuple[int, int]] = set()
+        self._applied_removed: set[tuple[int, int]] = set()
         #: receiver-side, volatile: durable posts sitting in the object
         #: event queue right now (suppresses concurrent duplicates)
         self._enqueued: set[tuple[int, int]] = set()
@@ -167,6 +216,8 @@ class NodeStore:
         if entry_id in self.applied:
             return
         self.applied.add(entry_id)
+        self._applied_added.add(entry_id)
+        self._applied_removed.discard(entry_id)
         self._enqueued.discard(entry_id)
         self.journal.append(REC_APPLIED, entry_id=entry_id)
         self._after_append()
@@ -183,6 +234,8 @@ class NodeStore:
         if entry_id not in self.applied:
             return
         self.applied.discard(entry_id)
+        self._applied_removed.add(entry_id)
+        self._applied_added.discard(entry_id)
         self._enqueued.add(entry_id)
         self.journal.append(REC_UNAPPLIED, entry_id=entry_id)
         self._after_append()
@@ -205,6 +258,8 @@ class NodeStore:
         """
         if entry_id not in self.applied:
             self.applied.add(entry_id)
+            self._applied_added.add(entry_id)
+            self._applied_removed.discard(entry_id)
             self.journal.append(REC_APPLIED, entry_id=entry_id)
             self._after_append()
         self._enqueued.discard(entry_id)
@@ -268,10 +323,19 @@ class NodeStore:
 
     def _collect_state(self) -> dict[str, Any]:
         manager = self.kernel.objects
+        # Chain a delta snapshot off the previous checkpoint's and reset
+        # the trackers: the caller (checkpoint) always journals this
+        # state, so the new snapshot becomes the next chain base.
+        applied = AppliedSnapshot(self._applied_base,
+                                  frozenset(self._applied_added),
+                                  frozenset(self._applied_removed))
+        self._applied_base = applied
+        self._applied_added.clear()
+        self._applied_removed.clear()
         return {
             # entries are copied so later mutation cannot rewrite history
-            "pending": [replace(entry) for entry in self.outbox.pending()],
-            "applied": frozenset(self.applied),
+            "pending": [entry.clone() for entry in self.outbox.pending()],
+            "applied": applied,
             "registrations": manager.handlers.entries(),
             "objects": {oid: snapshot_object(manager.get(oid))
                         for oid in manager.oids()},
@@ -289,6 +353,9 @@ class NodeStore:
             self._flush_timer = None
         self._enqueued.clear()
         self.applied.clear()
+        self._applied_base = None
+        self._applied_added.clear()
+        self._applied_removed.clear()
         self.outbox.restore([])
 
     def recover(self) -> tuple[int, float]:
@@ -305,7 +372,7 @@ class NodeStore:
         restored_objects = 0
         if state is not None:
             self.applied = set(state["applied"])
-            self.outbox.restore([replace(entry)
+            self.outbox.restore([entry.clone()
                                  for entry in state["pending"]])
             manager.handlers.restore(state["registrations"])
             self.kernel.dead_letters.restore(state.get("dead_letters", ()))
@@ -333,6 +400,12 @@ class NodeStore:
                 self.kernel.dead_letters.replay_remove(
                     record.data["dl_id"])
         self.outbox.park_all()
+        # Re-baseline the snapshot chain: the tail replay mutated the
+        # applied set outside the delta trackers, so the next checkpoint
+        # must capture the full recovered set (O(n) once per recovery).
+        self._applied_base = None
+        self._applied_added = set(self.applied)
+        self._applied_removed = set()
         replayed = len(tail) + (1 if state is not None else 0)
         recovery_time = replayed * self.kernel.config.replay_cost
         self.recovery_log.append({

@@ -31,9 +31,14 @@ NOTICED = "noticed"
 QUARANTINED = "quarantined"
 
 
-@dataclass
+@dataclass(slots=True)
 class OutboxEntry:
-    """One journaled post awaiting its handler-side acknowledgement."""
+    """One journaled post awaiting its handler-side acknowledgement.
+
+    ``slots=True``: every checkpoint copies the whole pending set, so
+    the per-instance dict and the generic ``dataclasses.replace`` were
+    measurable on the durable path — copies go through :meth:`clone`.
+    """
 
     entry_id: tuple[int, int]       #: (origin node, per-origin sequence)
     block: "EventBlock"
@@ -48,6 +53,25 @@ class OutboxEntry:
     @property
     def resolved(self) -> bool:
         return self.status in (DELIVERED, NOTICED, QUARANTINED)
+
+    def clone(self) -> "OutboxEntry":
+        """Field-for-field shallow copy (checkpoint/restore isolation).
+
+        ``dataclasses.replace`` re-runs ``__init__`` through kwargs
+        plumbing; this straight-line copy is ~4x cheaper and the
+        checkpoint path takes one per pending entry.
+        """
+        entry = object.__new__(OutboxEntry)
+        entry.entry_id = self.entry_id
+        entry.block = self.block
+        entry.kind = self.kind
+        entry.dst = self.dst
+        entry.status = self.status
+        entry.created_at = self.created_at
+        entry.attempts = self.attempts
+        entry.redeliveries = self.redeliveries
+        entry.lsn = self.lsn
+        return entry
 
 
 class Outbox:

@@ -1,0 +1,463 @@
+"""Compact wire codec for cross-process message envelopes.
+
+The sharded backend used to ship every cross-shard
+:class:`~repro.net.message.Message` as one ``pickle.dumps`` call, and
+the TCP backend framed pickles behind a JSON header. Pickle is general
+but pays for that generality on every envelope: module-path strings,
+memo tables, and the full reduce protocol for what is almost always
+the same handful of shapes. This codec replaces it with a struct-packed
+envelope encoder plus a **shape registry** for the payload types that
+actually cross the wire (capabilities, thread/group ids, event blocks,
+thread snapshots), falling back to pickle *per value* for anything it
+does not recognise — so arbitrary user payloads still travel, they just
+skip the fast path.
+
+Determinism contract (the part that lets the sharded backend default to
+this codec): decoding reconstructs objects with ``__new__`` + attribute
+assignment, exactly like unpickling, so the receiving process's
+module-level id counters (``Message.msg_id``, ``EventBlock.block_id``)
+are **not** advanced and every id survives the hop verbatim. A decoded
+envelope is indistinguishable from an unpickled one, which is why
+same-seed sharded digests are bit-identical with the codec on or off
+(asserted by the differential tests and the E15 bench).
+
+Wire format, all integers as zigzag varints and floats as IEEE-754
+doubles (bit-exact — virtual timestamps must survive the hop)::
+
+    message   := VERSION flags src dst mtype payload size msg_id
+                 [rel_node rel_seq] [ack]
+    batch     := VERSION count { deliver_at seq dst message }*
+    value     := tag <tag-specific body>
+
+Unknown version bytes or value tags raise :class:`CodecError` (a
+:class:`~repro.errors.NetworkError`), so a frame from a different codec
+revision fails loudly instead of mis-decoding.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any
+
+from repro.errors import NetworkError
+
+__all__ = [
+    "CodecError", "encode_message", "decode_message",
+    "encode_batch", "decode_batch",
+]
+
+#: bump on any incompatible wire-format change
+VERSION = 1
+
+_DOUBLE = struct.Struct(">d")
+
+
+class CodecError(NetworkError):
+    """A frame could not be encoded/decoded by this codec revision."""
+
+
+# ----------------------------------------------------------------------
+# varints (zigzag so negative ids — e.g. the -1 reply src — stay small)
+# ----------------------------------------------------------------------
+
+def _append_uvarint(out: bytearray, value: int) -> None:
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _append_varint(out: bytearray, value: int) -> None:
+    # zigzag works for arbitrary-precision ints: no 64-bit clamp
+    _append_uvarint(out, (value << 1) if value >= 0 else ((-value << 1) - 1))
+
+
+def _read_uvarint(buf: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        try:
+            byte = buf[pos]
+        except IndexError:
+            raise CodecError("truncated varint") from None
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _read_varint(buf: bytes, pos: int) -> tuple[int, int]:
+    raw, pos = _read_uvarint(buf, pos)
+    return (raw >> 1) ^ -(raw & 1), pos
+
+
+# ----------------------------------------------------------------------
+# value encoding
+# ----------------------------------------------------------------------
+
+_T_NONE = 0
+_T_TRUE = 1
+_T_FALSE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_STR = 5
+_T_BYTES = 6
+_T_TUPLE = 7
+_T_LIST = 8
+_T_DICT = 9
+_T_CAPABILITY = 10
+_T_THREAD_ID = 11
+_T_GROUP_ID = 12
+_T_FRAME_INFO = 13
+_T_SNAPSHOT = 14
+_T_EVENT_BLOCK = 15
+_T_PICKLE = 16
+
+#: message types observed on the fabric, in registry order — the wire
+#: carries ``index + 1`` (0 = inline string follows). Append only;
+#: reordering is a VERSION bump.
+MTYPE_REGISTRY = (
+    "event.post-object", "event.resume", "rel.ack", "store.ack",
+    "rpc.request", "rpc.reply", "invoke.request", "invoke.reply",
+    "locate.bcast", "locate.bcast-reply", "locate.path",
+    "locate.mcast", "locate.mcast-reply", "locate.cached",
+    "thread.complete", "thread.unwind", "fd.beat",
+    "dsm.installed", "dsm.inval", "dsm.page", "dsm.yield",
+)
+_MTYPE_TAG = {name: i + 1 for i, name in enumerate(MTYPE_REGISTRY)}
+
+
+def _append_str(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    _append_uvarint(out, len(raw))
+    out += raw
+
+
+def _read_str(buf: bytes, pos: int) -> tuple[str, int]:
+    length, pos = _read_uvarint(buf, pos)
+    end = pos + length
+    if end > len(buf):
+        raise CodecError("truncated string")
+    return buf[pos:end].decode("utf-8"), end
+
+
+def _append_value(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif type(value) is int:
+        out.append(_T_INT)
+        _append_varint(out, value)
+    elif type(value) is float:
+        out.append(_T_FLOAT)
+        out += _DOUBLE.pack(value)
+    elif type(value) is str:
+        out.append(_T_STR)
+        _append_str(out, value)
+    elif type(value) is bytes:
+        out.append(_T_BYTES)
+        _append_uvarint(out, len(value))
+        out += value
+    elif type(value) is tuple:
+        out.append(_T_TUPLE)
+        _append_uvarint(out, len(value))
+        for item in value:
+            _append_value(out, item)
+    elif type(value) is list:
+        out.append(_T_LIST)
+        _append_uvarint(out, len(value))
+        for item in value:
+            _append_value(out, item)
+    elif type(value) is dict:
+        out.append(_T_DICT)
+        _append_uvarint(out, len(value))
+        for key, item in value.items():
+            _append_value(out, key)
+            _append_value(out, item)
+    else:
+        _append_shape(out, value)
+
+
+def _append_shape(out: bytearray, value: Any) -> None:
+    """Registry of common payload shapes; pickle for everything else.
+
+    ``type() is`` checks, not isinstance: a subclass may carry extra
+    state the shape encoding would drop, so subclasses take the pickle
+    fallback and lose nothing.
+    """
+    from repro.events.block import EventBlock, FrameInfo, ThreadSnapshot
+    from repro.objects.capability import Capability
+    from repro.threads.ids import GroupId, ThreadId
+    kind = type(value)
+    if kind is Capability:
+        out.append(_T_CAPABILITY)
+        _append_varint(out, value.oid)
+        _append_varint(out, value.home)
+        _append_str(out, value.transport)
+        _append_str(out, value.cls_name)
+    elif kind is ThreadId:
+        out.append(_T_THREAD_ID)
+        _append_varint(out, value.root)
+        _append_varint(out, value.seq)
+    elif kind is GroupId:
+        out.append(_T_GROUP_ID)
+        _append_varint(out, value.root)
+        _append_varint(out, value.seq)
+    elif kind is FrameInfo:
+        out.append(_T_FRAME_INFO)
+        _append_varint(out, value.oid)
+        _append_str(out, value.entry)
+        _append_varint(out, value.node)
+        _append_varint(out, value.steps)
+    elif kind is ThreadSnapshot:
+        out.append(_T_SNAPSHOT)
+        _append_value(out, value.tid)
+        _append_str(out, value.state)
+        _append_value(out, value.node)
+        _append_value(out, value.frames)
+    elif kind is EventBlock:
+        out.append(_T_EVENT_BLOCK)
+        for slot in EventBlock.__slots__:
+            _append_value(out, getattr(value, slot))
+    else:
+        raw = pickle.dumps(value)
+        out.append(_T_PICKLE)
+        _append_uvarint(out, len(raw))
+        out += raw
+
+
+def _read_value(buf: bytes, pos: int) -> tuple[Any, int]:
+    try:
+        tag = buf[pos]
+    except IndexError:
+        raise CodecError("truncated value") from None
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        return _read_varint(buf, pos)
+    if tag == _T_FLOAT:
+        end = pos + _DOUBLE.size
+        if end > len(buf):
+            raise CodecError("truncated float")
+        return _DOUBLE.unpack_from(buf, pos)[0], end
+    if tag == _T_STR:
+        return _read_str(buf, pos)
+    if tag == _T_BYTES:
+        length, pos = _read_uvarint(buf, pos)
+        end = pos + length
+        if end > len(buf):
+            raise CodecError("truncated bytes")
+        return buf[pos:end], end
+    if tag == _T_TUPLE or tag == _T_LIST:
+        count, pos = _read_uvarint(buf, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _read_value(buf, pos)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), pos
+    if tag == _T_DICT:
+        count, pos = _read_uvarint(buf, pos)
+        data = {}
+        for _ in range(count):
+            key, pos = _read_value(buf, pos)
+            item, pos = _read_value(buf, pos)
+            data[key] = item
+        return data, pos
+    return _read_shape(tag, buf, pos)
+
+
+def _read_shape(tag: int, buf: bytes, pos: int) -> tuple[Any, int]:
+    from repro.events.block import EventBlock, FrameInfo, ThreadSnapshot
+    from repro.objects.capability import Capability
+    from repro.threads.ids import GroupId, ThreadId
+    if tag == _T_CAPABILITY:
+        oid, pos = _read_varint(buf, pos)
+        home, pos = _read_varint(buf, pos)
+        transport, pos = _read_str(buf, pos)
+        cls_name, pos = _read_str(buf, pos)
+        return Capability(oid=oid, home=home, transport=transport,
+                          cls_name=cls_name), pos
+    if tag == _T_THREAD_ID or tag == _T_GROUP_ID:
+        root, pos = _read_varint(buf, pos)
+        seq, pos = _read_varint(buf, pos)
+        cls = ThreadId if tag == _T_THREAD_ID else GroupId
+        return cls(root=root, seq=seq), pos
+    if tag == _T_FRAME_INFO:
+        oid, pos = _read_varint(buf, pos)
+        entry, pos = _read_str(buf, pos)
+        node, pos = _read_varint(buf, pos)
+        steps, pos = _read_varint(buf, pos)
+        return FrameInfo(oid=oid, entry=entry, node=node, steps=steps), pos
+    if tag == _T_SNAPSHOT:
+        tid, pos = _read_value(buf, pos)
+        state, pos = _read_str(buf, pos)
+        node, pos = _read_value(buf, pos)
+        frames, pos = _read_value(buf, pos)
+        return ThreadSnapshot(tid=tid, state=state, node=node,
+                              frames=frames), pos
+    if tag == _T_EVENT_BLOCK:
+        # __new__ + setattr, like unpickling: the receiver's module
+        # counter must not tick and block_id arrives verbatim
+        block = EventBlock.__new__(EventBlock)
+        for slot in EventBlock.__slots__:
+            value, pos = _read_value(buf, pos)
+            setattr(block, slot, value)
+        return block, pos
+    if tag == _T_PICKLE:
+        length, pos = _read_uvarint(buf, pos)
+        end = pos + length
+        if end > len(buf):
+            raise CodecError("truncated pickle fallback")
+        return pickle.loads(buf[pos:end]), end
+    raise CodecError(f"unknown value tag {tag} (codec version {VERSION})")
+
+
+# ----------------------------------------------------------------------
+# message envelopes
+# ----------------------------------------------------------------------
+
+_F_DST_STR = 1
+_F_REL = 2
+_F_ACK = 4
+
+
+def _append_message(out: bytearray, message: Any) -> None:
+    flags = 0
+    if type(message.dst) is not int:
+        flags |= _F_DST_STR
+    if message.rel is not None:
+        flags |= _F_REL
+    if message.ack is not None:
+        flags |= _F_ACK
+    out.append(flags)
+    _append_varint(out, message.src)
+    if flags & _F_DST_STR:
+        _append_str(out, message.dst)
+    else:
+        _append_varint(out, message.dst)
+    tag = _MTYPE_TAG.get(message.mtype, 0)
+    _append_uvarint(out, tag)
+    if not tag:
+        _append_str(out, message.mtype)
+    _append_value(out, message.payload)
+    _append_varint(out, message.size)
+    _append_varint(out, message.msg_id)
+    if flags & _F_REL:
+        _append_varint(out, message.rel[0])
+        _append_varint(out, message.rel[1])
+    if flags & _F_ACK:
+        _append_varint(out, message.ack)
+
+
+def _read_message(buf: bytes, pos: int) -> tuple[Any, int]:
+    from repro.net.message import Message
+    try:
+        flags = buf[pos]
+    except IndexError:
+        raise CodecError("truncated envelope") from None
+    pos += 1
+    src, pos = _read_varint(buf, pos)
+    if flags & _F_DST_STR:
+        dst, pos = _read_str(buf, pos)
+    else:
+        dst, pos = _read_varint(buf, pos)
+    tag, pos = _read_uvarint(buf, pos)
+    if tag:
+        if tag > len(MTYPE_REGISTRY):
+            raise CodecError(
+                f"unknown mtype tag {tag} (codec version {VERSION})")
+        mtype = MTYPE_REGISTRY[tag - 1]
+    else:
+        mtype, pos = _read_str(buf, pos)
+    payload, pos = _read_value(buf, pos)
+    size, pos = _read_varint(buf, pos)
+    msg_id, pos = _read_varint(buf, pos)
+    rel = ack = None
+    if flags & _F_REL:
+        rel_node, pos = _read_varint(buf, pos)
+        rel_seq, pos = _read_varint(buf, pos)
+        rel = (rel_node, rel_seq)
+    if flags & _F_ACK:
+        ack, pos = _read_varint(buf, pos)
+    message = Message.__new__(Message)
+    message.src = src
+    message.dst = dst
+    message.mtype = mtype
+    message.payload = payload
+    message.size = size
+    message.msg_id = msg_id
+    message.rel = rel
+    message.ack = ack
+    return message, pos
+
+
+def encode_message(message: Any) -> bytes:
+    """One envelope to bytes (self-delimiting)."""
+    out = bytearray()
+    out.append(VERSION)
+    _append_message(out, message)
+    return bytes(out)
+
+
+def decode_message(buf: bytes) -> Any:
+    """Inverse of :func:`encode_message`."""
+    if not buf:
+        raise CodecError("empty frame")
+    if buf[0] != VERSION:
+        raise CodecError(f"unknown codec version {buf[0]} "
+                         f"(this build speaks {VERSION})")
+    message, _pos = _read_message(buf, 1)
+    return message
+
+
+# ----------------------------------------------------------------------
+# window batches (the sharded barrier's unit of transfer)
+# ----------------------------------------------------------------------
+
+def encode_batch(records: list[tuple[float, int, Any, int]]) -> bytes:
+    """Pack ``(deliver_at, seq, message, dst)`` records into one blob.
+
+    One blob per (destination shard, window) replaces one pickle per
+    message on the barrier pipes; the parent routes blobs by counting,
+    never decoding.
+    """
+    out = bytearray()
+    out.append(VERSION)
+    _append_uvarint(out, len(records))
+    for deliver_at, seq, message, dst in records:
+        out += _DOUBLE.pack(deliver_at)
+        _append_uvarint(out, seq)
+        _append_varint(out, dst)
+        _append_message(out, message)
+    return bytes(out)
+
+
+def decode_batch(blob: bytes) -> list[tuple[float, int, Any, int]]:
+    """Inverse of :func:`encode_batch`."""
+    if not blob:
+        raise CodecError("empty batch")
+    if blob[0] != VERSION:
+        raise CodecError(f"unknown codec version {blob[0]} "
+                         f"(this build speaks {VERSION})")
+    count, pos = _read_uvarint(blob, 1)
+    records = []
+    for _ in range(count):
+        end = pos + _DOUBLE.size
+        if end > len(blob):
+            raise CodecError("truncated batch record")
+        deliver_at = _DOUBLE.unpack_from(blob, pos)[0]
+        seq, pos = _read_uvarint(blob, end)
+        dst, pos = _read_varint(blob, pos)
+        message, pos = _read_message(blob, pos)
+        records.append((deliver_at, seq, message, dst))
+    return records

@@ -21,12 +21,23 @@ time-window** protocol:
   simulator allocates sequence numbers deterministically — same-seed
   sharded runs are bit-identical, just like the single-process ones.
 
-Messages cross the process boundary as pickled
-:class:`~repro.net.message.Message` envelopes over multiprocessing
-pipes (the parent is the hub).  Everything *above* the transport is the
-stock stack: reliable channels retransmit across shards, durable posts
-ack back to their origin shard, supervision quarantines remotely —
-none of those layers can tell the difference.
+Messages cross the process boundary over multiprocessing pipes (the
+parent is the hub), encoded by the compact wire codec
+(:mod:`repro.transport.codec`, ``wire_codec=True``) or per-message
+pickle.  With ``shard_window_batching`` (default on) a whole window's
+traffic to one destination shard travels as **one** encoded blob that
+the parent routes without decoding; the destination worker merges all
+source blobs in ``(deliver_time, source_shard, send_seq)`` order, so
+injection order — hence every digest — is identical to the per-message
+protocol.  With ``shard_quiescent_skip`` (default on) barrier rounds
+for provably-empty windows are elided: when nothing is in flight the
+parent jumps the window counter to the earliest shard-reported
+next-event time, which is conservative because an idle shard cannot
+originate traffic before its next pending callback.  Everything
+*above* the transport is the stock stack: reliable channels retransmit
+across shards, durable posts ack back to their origin shard,
+supervision quarantines remotely — none of those layers can tell the
+difference.
 
 Known v1 limits (documented, asserted where cheap): fabric
 ``broadcast``/``multicast`` fan out over the *local* shard's endpoint
@@ -50,7 +61,8 @@ from importlib import import_module
 from typing import Any, Callable
 
 from repro.errors import NetworkError
-from repro.kernel.config import ClusterConfig, shard_bounds
+from repro.kernel.config import ClusterConfig, shard_owner_map
+from repro.transport import codec
 from repro.transport.simlocal import SimTransport
 
 if False:  # pragma: no cover - typing only
@@ -156,14 +168,22 @@ class ShardContext:
     n_nodes: int
     local_nodes: range
     args: dict = field(default_factory=dict)
+    #: lazily-built ``node -> shard`` map shared with the runner's
+    #: routing table (the old per-call linear scan over shard bounds
+    #: was a measurable cost for scenarios that route every post)
+    _owner_map: dict | None = field(default=None, repr=False)
 
     def owner_shard(self, node_id: int) -> int:
         """Which shard hosts a global node id."""
-        for shard in range(self.shard_count):
-            lo, hi = shard_bounds(self.n_nodes, self.shard_count, shard)
-            if lo <= node_id < hi:
-                return shard
-        raise NetworkError(f"node {node_id} outside the cluster")
+        owner = self._owner_map
+        if owner is None:
+            owner = self._owner_map = shard_owner_map(
+                self.n_nodes, self.shard_count)
+        try:
+            return owner[node_id]
+        except KeyError:
+            raise NetworkError(
+                f"node {node_id} outside the cluster") from None
 
 
 def resolve_scenario(path: str) -> ScenarioFn:
@@ -187,10 +207,64 @@ def _config_kwargs(config: ClusterConfig) -> dict:
     return {f.name: getattr(config, f.name) for f in fields(config)}
 
 
+def _start_method(config: ClusterConfig) -> str:
+    """Worker start method: the knob, else fork where the OS offers it.
+
+    ``spawn`` re-imports the interpreter per worker (~0.2 s each, the
+    dominant cost of small sharded runs); ``fork`` inherits the loaded
+    modules.  :func:`_reset_process_counters` makes the two
+    bit-identical.
+    """
+    if config.shard_start_method is not None:
+        return config.shard_start_method
+    import multiprocessing as mp
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def _reset_process_counters() -> None:
+    """Reset every module-level id counter to its import-time state.
+
+    A forked worker inherits the parent's already-advanced counters
+    (message ids, oids, block ids, ...), which would shift every id the
+    shard allocates and break both the per-shard digests and
+    :func:`repro.bench.scale.sink_cap`'s oid arithmetic.  Resetting
+    them reproduces exactly what a spawned (freshly imported) worker
+    sees; under spawn this is a no-op by construction.
+    """
+    # import_module, not ``import a.b as c``: repro/__init__ rebinds the
+    # ``events`` attribute (``names as events``), breaking getattr-chain
+    # binding for repro.events.* submodules
+    counters = {
+        "repro.net.message": "_msg_ids",
+        "repro.objects.base": "_oids",
+        "repro.events.handlers": "_reg_ids",
+        "repro.events.block": "_block_ids",
+        "repro.events.delivery": "_proc_names",
+        "repro.threads.attributes": "_timer_spec_ids",
+        "repro.threads.thread": "_activation_ids",
+        "repro.dsm.manager": "_segment_ids",
+        "repro.baselines.unix_signals": "_pids",
+        "repro.baselines.mach_exceptions": "_task_ids",
+    }
+    for module_name, counter in counters.items():
+        setattr(import_module(module_name), counter, itertools.count(1))
+
+
+def _encode_records(records: list, wire_codec: bool) -> bytes:
+    return (codec.encode_batch(records) if wire_codec
+            else pickle.dumps(records))
+
+
+def _decode_records(blob: bytes, wire_codec: bool) -> list:
+    return (codec.decode_batch(blob) if wire_codec
+            else pickle.loads(blob))
+
+
 def _shard_worker(conn: Any, config_kwargs: dict, shard_index: int,
                   scenario_path: str, scenario_args: dict) -> None:
     """Worker main: build one shard's cluster, obey barrier commands."""
     try:
+        _reset_process_counters()
         from repro.kernel.boot import Cluster
         config = ClusterConfig(**{**config_kwargs,
                                   "shard_index": shard_index})
@@ -202,22 +276,57 @@ def _shard_worker(conn: Any, config_kwargs: dict, shard_index: int,
                            local_nodes=config.local_node_ids(),
                            args=dict(scenario_args))
         finish = resolve_scenario(scenario_path)(ctx)
+        batching = config.shard_window_batching
+        wire = config.wire_codec
+        owner_of = shard_owner_map(config.n_nodes, config.shard_count)
+        sim = cluster.sim
         while True:
             cmd = conn.recv()
             tag = cmd[0]
-            if tag == "win":
+            if tag == "win" and batching:
+                _, window_end, blobs = cmd
+                # One blob per source shard; merge every source's
+                # records in (deliver_time, src shard, send seq) order —
+                # injection order decides the destination simulator's
+                # sequence numbers, hence determinism, and is identical
+                # to the per-message protocol's pre-sorted stream.
+                merged = []
+                for src_shard, blob in blobs:
+                    for deliver_at, seq, message, dst in _decode_records(
+                            blob, wire):
+                        merged.append(
+                            (deliver_at, src_shard, seq, message, dst))
+                merged.sort(key=lambda rec: (rec[0], rec[1], rec[2]))
+                for deliver_at, _s, _q, message, dst in merged:
+                    transport.inject(message, dst, deliver_at)
+                cluster.run(until=window_end)
+                by_dst_shard: dict[int, list] = {}
+                for record in transport.take_outbound(window_end):
+                    by_dst_shard.setdefault(
+                        owner_of[record[3]], []).append(record)
+                outbound = {
+                    dst_shard: (len(records),
+                                _encode_records(records, wire))
+                    for dst_shard, records in by_dst_shard.items()}
+                conn.send(("done", outbound, sim.pending,
+                           sim.peek_next()))
+            elif tag == "win":
                 _, window_end, inbound = cmd
-                # Arrivals come pre-sorted by (deliver_time, src shard,
-                # send seq): injection order decides the destination
-                # simulator's sequence numbers, hence determinism.
+                # Legacy per-message protocol: arrivals come pre-sorted
+                # by (deliver_time, src shard, send seq).
                 for deliver_at, blob, dst in inbound:
-                    transport.inject(pickle.loads(blob), dst, deliver_at)
+                    message = (codec.decode_message(blob) if wire
+                               else pickle.loads(blob))
+                    transport.inject(message, dst, deliver_at)
                 cluster.run(until=window_end)
                 outbound = [
-                    (deliver_at, seq, pickle.dumps(message), dst)
+                    (deliver_at, seq,
+                     codec.encode_message(message) if wire
+                     else pickle.dumps(message), dst)
                     for deliver_at, seq, message, dst
                     in transport.take_outbound(window_end)]
-                conn.send(("done", outbound, cluster.sim.pending))
+                conn.send(("done", outbound, sim.pending,
+                           sim.peek_next()))
             elif tag == "finish":
                 conn.send(("result", finish(), transport.stats(),
                            cluster.message_stats()))
@@ -279,6 +388,7 @@ def run_sharded(config: ClusterConfig, scenario: str,
     max_windows:
         Safety valve against livelock (a window is one lookahead).
     """
+    import math
     import multiprocessing as mp
 
     if config.transport != "sharded":
@@ -287,10 +397,41 @@ def run_sharded(config: ClusterConfig, scenario: str,
         raise NetworkError("leave shard_index unset; the runner assigns it")
     window = config.effective_shard_window()
     shard_count = config.shard_count
+    batching = config.shard_window_batching
+    skip = config.shard_quiescent_skip
     kwargs = _config_kwargs(config)
-    ctx = mp.get_context("spawn")
+    ctx = mp.get_context(_start_method(config))
     conns, workers = [], []
     started = time.perf_counter()
+
+    def dead_worker(shard: int) -> NetworkError:
+        workers[shard].join(timeout=5)
+        return NetworkError(
+            f"shard {shard} worker died without reporting "
+            f"(exitcode {workers[shard].exitcode})")
+
+    def send(shard: int, payload: tuple) -> None:
+        """One command, or a clear error naming the shard that died."""
+        try:
+            conns[shard].send(payload)
+        except OSError:
+            # BrokenPipeError when the worker died before the barrier
+            # round reached it; whether the parent notices on send or
+            # on the following recv is a race
+            raise dead_worker(shard) from None
+
+    def recv(shard: int) -> tuple:
+        """One reply, or a clear error naming the shard that failed."""
+        try:
+            reply = conns[shard].recv()
+        except (EOFError, OSError):
+            # EOFError for a cleanly-closed pipe, ConnectionResetError
+            # (an OSError) when the worker was killed mid-write
+            raise dead_worker(shard) from None
+        if reply[0] == "error":
+            raise NetworkError(f"shard {shard} failed:\n{reply[1]}")
+        return reply
+
     try:
         for shard in range(shard_count):
             parent_conn, child_conn = ctx.Pipe()
@@ -304,14 +445,15 @@ def run_sharded(config: ClusterConfig, scenario: str,
             conns.append(parent_conn)
             workers.append(worker)
 
-        owner_of = {}
-        for shard in range(shard_count):
-            lo, hi = shard_bounds(config.n_nodes, shard_count, shard)
-            for node_id in range(lo, hi):
-                owner_of[node_id] = shard
+        owner_of = shard_owner_map(config.n_nodes, shard_count)
+        final_index = (None if until is None
+                       else math.ceil(until / window - 1e-12))
 
+        #: per destination shard: (src_shard, blob) batched, or
+        #: (deliver_at, src_shard, seq, blob, dst) per-message
         inbound: list[list] = [[] for _ in range(shard_count)]
         windows = 0
+        window_index = 0
         virtual_time = 0.0
         while True:
             windows += 1
@@ -319,47 +461,81 @@ def run_sharded(config: ClusterConfig, scenario: str,
                 raise NetworkError(
                     f"sharded run exceeded max_windows={max_windows} "
                     f"(livelock, or raise the cap for long runs)")
-            window_end = windows * window
-            for shard, conn in enumerate(conns):
-                batch = sorted(inbound[shard],
-                               key=lambda rec: (rec[0], rec[1], rec[2]))
-                conn.send(("win", window_end,
-                           [(t, blob, dst) for t, _s, _q, blob, dst
-                            in batch]))
+            window_index += 1
+            window_end = window_index * window
+            if batching:
+                for shard in range(shard_count):
+                    send(shard, ("win", window_end, inbound[shard]))
+            else:
+                for shard in range(shard_count):
+                    batch = sorted(inbound[shard],
+                                   key=lambda rec: (rec[0], rec[1], rec[2]))
+                    send(shard, ("win", window_end,
+                                 [(t, blob, dst) for t, _s, _q, blob, dst
+                                  in batch]))
             inbound = [[] for _ in range(shard_count)]
             in_flight = 0
             pending_total = 0
-            for shard, conn in enumerate(conns):
-                reply = conn.recv()
-                if reply[0] == "error":
-                    raise NetworkError(
-                        f"shard {shard} failed:\n{reply[1]}")
-                _tag, outbound, pending = reply
+            next_times = []
+            for shard in range(shard_count):
+                _tag, outbound, pending, next_time = recv(shard)
                 pending_total += pending
-                for deliver_at, seq, blob, dst in outbound:
-                    inbound[owner_of[dst]].append(
-                        (deliver_at, shard, seq, blob, dst))
-                    in_flight += 1
+                if next_time is not None:
+                    next_times.append(next_time)
+                if batching:
+                    for dst_shard, (count, blob) in outbound.items():
+                        inbound[dst_shard].append((shard, blob))
+                        in_flight += count
+                else:
+                    for deliver_at, seq, blob, dst in outbound:
+                        inbound[owner_of[dst]].append(
+                            (deliver_at, shard, seq, blob, dst))
+                        in_flight += 1
             virtual_time = window_end
             if until is not None and window_end >= until:
                 break
             if until is None and in_flight == 0 and pending_total == 0:
                 break
+            if skip and in_flight == 0:
+                # Quiescent skip-ahead: with nothing in flight, no shard
+                # can execute (or send) anything before the earliest
+                # pending callback at min(next_times) = E.  Jumping to
+                # window k = ceil(E / W) keeps the lookahead invariant:
+                # every event the jump target window runs is at time
+                # > (k-1)*W, so its cross-shard sends deliver after
+                # k*W.  Barrier rounds for the skipped windows carried
+                # provably zero traffic — executions and digests are
+                # bit-identical, only round-trip count changes.
+                if next_times:
+                    target = math.ceil(min(next_times) / window - 1e-12)
+                    if target > window_index + 1:
+                        window_index = target - 1
+                elif final_index is not None:
+                    # no pending work anywhere: only the `until` bound
+                    # is left to reach
+                    window_index = max(window_index, final_index - 1)
+                if final_index is not None and window_index >= final_index:
+                    window_index = final_index - 1
 
         shard_results, transport_stats, message_stats = [], [], []
-        for shard, conn in enumerate(conns):
-            conn.send(("finish",))
-            reply = conn.recv()
-            if reply[0] == "error":
-                raise NetworkError(f"shard {shard} failed:\n{reply[1]}")
-            _tag, result, tstats, mstats = reply
+        for shard in range(shard_count):
+            send(shard, ("finish",))
+            _tag, result, tstats, mstats = recv(shard)
             shard_results.append(result)
             transport_stats.append(tstats)
             message_stats.append(mstats)
-        for conn in conns:
-            conn.send(("exit",))
-        for worker in workers:
+        for shard in range(shard_count):
+            send(shard, ("exit",))
+        for shard, worker in enumerate(workers):
             worker.join(timeout=30)
+            if worker.exitcode is None:
+                raise NetworkError(
+                    f"shard {shard} worker did not exit within 30s "
+                    f"after the run completed")
+            if worker.exitcode != 0:
+                raise NetworkError(
+                    f"shard {shard} worker exited with code "
+                    f"{worker.exitcode} after reporting its results")
         return ShardedReport(shard_results=shard_results,
                              transport_stats=transport_stats,
                              message_stats=message_stats,

@@ -12,17 +12,23 @@ hook on arrival.
 Wire format — length-prefixed frames::
 
     4-byte big-endian frame length
-    JSON header line:  {"dst": <node>, "fmt": "pickle" | "token"}\\n
-    body:              pickled Message | out-of-band token
+    1-byte format:     0 = codec | 1 = pickle | 2 = token
+    uvarint dst node
+    body:              codec-encoded or pickled Message | OOB token
 
-Envelopes normally travel pickled (a real serialization boundary: the
-receiver gets a deep copy, exactly like the sharded backend's pipes).
-A message whose user payload refuses to pickle falls back to an
+Envelopes normally travel through the compact wire codec
+(:mod:`repro.transport.codec` — the same format the sharded backend
+batches over its pipes), a real serialization boundary: the receiver
+gets a deep copy.  A message the codec cannot express (which implies
+pickle inside the codec failed too) falls back to plain pickle, and a
+message whose user payload refuses to pickle entirely falls back to an
 out-of-band token table — the frame carries a token, the object stays
-in process.  That fallback is what makes this a *loopback cluster*
-backend: all nodes live in one process and real distribution across
-machines would require every payload to serialize.  The smoke bench
-and example keep payloads plain, so their frames are honest bytes.
+in process.  That last fallback is what makes this a *loopback
+cluster* backend: all nodes live in one process and real distribution
+across machines would require every payload to serialize.  The smoke
+bench and example keep payloads plain, so their frames are honest
+bytes.  ``wire_codec=False`` (the ``ClusterConfig.wire_codec`` knob)
+restores the always-pickle framing.
 
 Known limits, stated plainly: wall-clock runs are not seed
 reproducible (use the sim backends for determinism), and fault
@@ -33,13 +39,14 @@ in real seconds here.
 from __future__ import annotations
 
 import itertools
-import json
 import pickle
 import struct
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import NetworkError
+from repro.transport import codec
 from repro.transport.base import Transport
+from repro.transport.codec import _append_uvarint, _read_uvarint
 from repro.transport.realtime import RealtimeScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -49,6 +56,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: frame length prefix: 4-byte unsigned big-endian
 _LEN = struct.Struct(">I")
+
+#: frame body formats (first byte after the length prefix)
+_FMT_CODEC = 0
+_FMT_PICKLE = 1
+_FMT_TOKEN = 2
 
 
 class _FrameReceiver:
@@ -102,13 +114,17 @@ class AsyncioTransport(Transport):
         ``base_port + i``.
     poll:
         Run-loop exit poll period handed to the scheduler.
+    wire_codec:
+        Encode envelopes with the compact wire codec (default); False
+        restores the always-pickle framing.
     """
 
     BACKEND = "tcp"
 
     def __init__(self, host: str = "127.0.0.1", base_port: int = 0,
-                 poll: float = 0.005) -> None:
+                 poll: float = 0.005, wire_codec: bool = True) -> None:
         super().__init__()
+        self._wire_codec = wire_codec
         self.scheduler = RealtimeScheduler(poll=poll)
         self.scheduler.add_idle_hook(lambda: self._in_flight == 0)
         self._host = host
@@ -188,17 +204,27 @@ class AsyncioTransport(Transport):
             # above the port by the fabric/kernel.
             self._in_flight -= 1
             return
-        try:
-            body = pickle.dumps(message)
-            fmt = "pickle"
-        except Exception:  # noqa: BLE001 - unpicklable user payload
-            token = next(self._token)
-            self._oob[token] = message
-            self._oob_sent += 1
-            body = str(token).encode("ascii")
-            fmt = "token"
-        header = json.dumps({"dst": dst, "fmt": fmt}).encode("ascii")
-        payload = header + b"\n" + body
+        body = None
+        fmt = _FMT_PICKLE
+        if self._wire_codec:
+            try:
+                body = codec.encode_message(message)
+                fmt = _FMT_CODEC
+            except Exception:  # noqa: BLE001 - unencodable payload
+                body = None
+        if body is None:
+            try:
+                body = pickle.dumps(message)
+                fmt = _FMT_PICKLE
+            except Exception:  # noqa: BLE001 - unpicklable user payload
+                token = next(self._token)
+                self._oob[token] = message
+                self._oob_sent += 1
+                body = str(token).encode("ascii")
+                fmt = _FMT_TOKEN
+        head = bytearray((fmt,))
+        _append_uvarint(head, dst)
+        payload = bytes(head) + body
         conn.write(_LEN.pack(len(payload)) + payload)
         self._frames_sent += 1
         self._bytes_sent += _LEN.size + len(payload)
@@ -206,17 +232,21 @@ class AsyncioTransport(Transport):
     # -- receive path ---------------------------------------------------
 
     def _on_frame(self, frame: bytes) -> None:
-        newline = frame.index(b"\n")
-        header = json.loads(frame[:newline].decode("ascii"))
-        body = frame[newline + 1:]
-        if header["fmt"] == "pickle":
+        fmt = frame[0]
+        dst, pos = _read_uvarint(frame, 1)
+        body = frame[pos:]
+        if fmt == _FMT_CODEC:
+            message = codec.decode_message(body)
+        elif fmt == _FMT_PICKLE:
             message = pickle.loads(body)
-        else:
+        elif fmt == _FMT_TOKEN:
             message = self._oob.pop(int(body))
+        else:
+            raise NetworkError(f"unknown tcp frame format {fmt}")
         self._frames_received += 1
         # hop back onto the scheduler so delivery order/stats match the
         # timer path and the idle hook sees the decrement
-        self.scheduler.call_soon(self._deliver, message, int(header["dst"]))
+        self.scheduler.call_soon(self._deliver, message, dst)
 
     def _deliver(self, message: "Message", dst: int) -> None:
         try:

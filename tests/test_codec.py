@@ -1,0 +1,258 @@
+"""Tests for the compact wire codec (:mod:`repro.transport.codec`).
+
+The codec's contract is strict: every :class:`~repro.net.message.Message`
+field survives the hop verbatim (ids included — decoding must not tick
+the receiver's module counters, or same-seed sharded digests would
+drift), common payload shapes round-trip through the shape registry,
+anything else falls back to pickle per value, and frames from a
+different codec revision fail loudly with :class:`CodecError`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.events.block import EventBlock, FrameInfo, ThreadSnapshot
+from repro.net.message import Message
+from repro.objects.capability import Capability
+from repro.threads.ids import GroupId, ThreadId
+from repro.transport.codec import (
+    MTYPE_REGISTRY,
+    VERSION,
+    CodecError,
+    decode_batch,
+    decode_message,
+    encode_batch,
+    encode_message,
+)
+
+
+def roundtrip(message: Message) -> Message:
+    return decode_message(encode_message(message))
+
+
+def assert_messages_equal(a: Message, b: Message) -> None:
+    for field in ("src", "dst", "mtype", "payload", "size", "msg_id",
+                  "rel", "ack"):
+        assert getattr(a, field) == getattr(b, field), field
+
+
+class WiderId(ThreadId):
+    """ThreadId subclass: must take the pickle fallback, not the shape."""
+
+
+class PayloadOnlyThisTest:
+    """A payload type the shape registry does not know (pickle path)."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return (type(other) is PayloadOnlyThisTest
+                and other.value == self.value)
+
+
+# ----------------------------------------------------------------------
+# envelope fields
+# ----------------------------------------------------------------------
+
+class TestEnvelope:
+    def test_every_field_roundtrips(self):
+        message = Message(src=3, dst=11, mtype="event.post-object",
+                          payload={"a": 1}, size=96)
+        out = roundtrip(message)
+        assert_messages_equal(message, out)
+        assert out is not message
+
+    def test_rel_and_ack_roundtrip(self):
+        message = Message(src=0, dst=1, mtype="rel.ack", payload=None,
+                          rel=(7, 1234), ack=5678)
+        out = roundtrip(message)
+        assert out.rel == (7, 1234)
+        assert out.ack == 5678
+
+    def test_negative_src_and_string_dst(self):
+        # the fabric uses src=-1 replies and string pseudo-destinations
+        message = Message(src=-1, dst="group:42", mtype="event.resume")
+        out = roundtrip(message)
+        assert out.src == -1
+        assert out.dst == "group:42"
+
+    def test_registry_mtype_travels_as_tag(self):
+        for mtype in MTYPE_REGISTRY:
+            out = roundtrip(Message(src=0, dst=1, mtype=mtype))
+            assert out.mtype == mtype
+
+    def test_unregistered_mtype_travels_inline(self):
+        message = Message(src=0, dst=1, mtype="custom.not-in-registry")
+        # the inline form costs the string bytes the registry saves
+        assert len(encode_message(message)) > len(encode_message(
+            Message(src=0, dst=1, mtype="event.post-object",
+                    msg_id=message.msg_id)))
+        assert roundtrip(message).mtype == "custom.not-in-registry"
+
+    def test_msg_id_verbatim_and_counter_not_ticked(self):
+        message = Message(src=0, dst=1, mtype="event.resume")
+        assert roundtrip(message).msg_id == message.msg_id
+        # decoding ten envelopes must not advance the module counter:
+        # the next locally-minted id is exactly one past the last one
+        for _ in range(10):
+            roundtrip(message)
+        follower = Message(src=0, dst=1, mtype="event.resume")
+        assert follower.msg_id == message.msg_id + 1
+
+
+# ----------------------------------------------------------------------
+# payload values
+# ----------------------------------------------------------------------
+
+class TestValues:
+    @pytest.mark.parametrize("payload", [
+        None, True, False, 0, -1, 1 << 80, -(1 << 80), "", "événement",
+        b"\x00\xffbytes", (1, "two", None), [3.5, [1, 2]],
+        {"k": (True, {"nested": b"v"})}, 0.0, -0.0, 1e-308, math.pi,
+    ])
+    def test_scalars_and_containers(self, payload):
+        out = roundtrip(Message(src=0, dst=1, mtype="x", payload=payload))
+        assert out.payload == payload
+        assert type(out.payload) is type(payload)
+
+    def test_floats_bit_exact(self):
+        for value in (-0.0, 1e-308, math.pi, 1.0 + 2**-52):
+            out = roundtrip(Message(src=0, dst=1, mtype="x",
+                                    payload=value))
+            assert math.copysign(1.0, out.payload) == \
+                math.copysign(1.0, value)
+            assert out.payload.hex() == value.hex()
+
+    def test_pickle_fallback_for_unknown_type(self):
+        payload = PayloadOnlyThisTest({"deep": [1, 2]})
+        out = roundtrip(Message(src=0, dst=1, mtype="x", payload=payload))
+        assert out.payload == payload
+
+
+# ----------------------------------------------------------------------
+# shape registry
+# ----------------------------------------------------------------------
+
+class TestShapes:
+    def test_capability(self):
+        cap = Capability(oid=17, home=3, transport="rpc",
+                         cls_name="ScaleSink")
+        out = roundtrip(Message(src=0, dst=1, mtype="x", payload=cap))
+        assert out.payload == cap
+
+    def test_thread_and_group_ids(self):
+        payload = (ThreadId(root=2, seq=9), GroupId(root=0, seq=4))
+        out = roundtrip(Message(src=0, dst=1, mtype="x", payload=payload))
+        assert out.payload == payload
+        assert type(out.payload[0]) is ThreadId
+        assert type(out.payload[1]) is GroupId
+
+    def test_thread_snapshot_with_frames(self):
+        snapshot = ThreadSnapshot(
+            tid=ThreadId(root=1, seq=2), state="suspended", node=5,
+            frames=(FrameInfo(oid=3, entry="on_scale", node=5, steps=7),))
+        out = roundtrip(Message(src=0, dst=1, mtype="x",
+                                payload=snapshot))
+        assert out.payload == snapshot
+        assert out.payload.program_counter == (3, "on_scale", 7)
+
+    def test_event_block_all_slots_and_counter_not_ticked(self):
+        block = EventBlock("SCALE", raiser_tid=ThreadId(root=0, seq=1),
+                           raiser_node=2, target=4, synchronous=True,
+                           user_data=(2, 7), raised_at=1.25,
+                           delivered_at=1.5)
+        block.durable_id = (2, 99)
+        block.degraded = True
+        out = roundtrip(Message(src=0, dst=1, mtype="x", payload=block))
+        for slot in EventBlock.__slots__:
+            assert getattr(out.payload, slot) == getattr(block, slot), slot
+        # decoding must not mint a new block id on the receiver
+        follower = EventBlock("SCALE")
+        assert follower.block_id == block.block_id + 1
+
+    def test_shape_subclass_takes_pickle_fallback(self):
+        payload = WiderId(root=1, seq=2)
+        out = roundtrip(Message(src=0, dst=1, mtype="x", payload=payload))
+        assert type(out.payload) is WiderId
+        assert out.payload == payload
+
+
+# ----------------------------------------------------------------------
+# failure modes
+# ----------------------------------------------------------------------
+
+class TestErrors:
+    def test_codec_error_is_a_network_error(self):
+        assert issubclass(CodecError, NetworkError)
+
+    def test_unknown_version_rejected(self):
+        frame = bytearray(encode_message(Message(src=0, dst=1, mtype="x")))
+        frame[0] = VERSION + 1
+        with pytest.raises(CodecError, match="version"):
+            decode_message(bytes(frame))
+        with pytest.raises(CodecError, match="version"):
+            decode_batch(bytes(frame))
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(CodecError):
+            decode_message(b"")
+        with pytest.raises(CodecError):
+            decode_batch(b"")
+
+    def test_unknown_mtype_tag_rejected(self):
+        # a frame from a future registry revision: flags 0, src 0,
+        # dst 0, then an mtype tag past this build's registry
+        frame = bytes([VERSION, 0, 0, 0, len(MTYPE_REGISTRY) + 1])
+        with pytest.raises(CodecError, match="mtype tag"):
+            decode_message(frame)
+
+    def test_unknown_value_tag_rejected(self):
+        frame = bytes([VERSION, 0, 0, 2, 1, 200])  # payload tag 200
+        with pytest.raises(CodecError, match="value tag"):
+            decode_message(frame)
+
+    def test_truncated_frame_rejected(self):
+        frame = encode_message(Message(
+            src=0, dst=1, mtype="event.post-object",
+            payload={"k": "a long enough payload string"}))
+        for cut in (2, len(frame) // 2, len(frame) - 1):
+            with pytest.raises(CodecError):
+                decode_message(frame[:cut])
+
+
+# ----------------------------------------------------------------------
+# window batches
+# ----------------------------------------------------------------------
+
+class TestBatch:
+    def test_roundtrip_preserves_order_and_fields(self):
+        records = [
+            (0.005, 1, Message(src=0, dst=5, mtype="event.post-object",
+                               payload=(0, 1)), 5),
+            (0.005, 2, Message(src=1, dst="group:9", mtype="rel.ack",
+                               rel=(1, 3), ack=44), 7),
+            (0.010, 3, Message(src=2, dst=0, mtype="custom.mtype",
+                               payload=Capability(oid=1, home=0,
+                                                  transport="rpc")), 0),
+        ]
+        out = decode_batch(encode_batch(records))
+        assert len(out) == len(records)
+        for (at_a, seq_a, msg_a, dst_a), (at_b, seq_b, msg_b, dst_b) in \
+                zip(records, out):
+            assert at_a.hex() == at_b.hex()
+            assert seq_a == seq_b and dst_a == dst_b
+            assert_messages_equal(msg_a, msg_b)
+
+    def test_empty_batch_roundtrips(self):
+        assert decode_batch(encode_batch([])) == []
+
+    def test_truncated_batch_rejected(self):
+        blob = encode_batch(
+            [(0.5, 1, Message(src=0, dst=1, mtype="x"), 1)])
+        with pytest.raises(CodecError):
+            decode_batch(blob[:len(blob) - 2])

@@ -1,0 +1,176 @@
+"""Tests for the sharded speed campaign: barrier batching, quiescent
+skip-ahead, the owner-map routing helper, the new config knobs, and
+worker teardown diagnostics.
+
+The load-bearing property throughout is *observational purity*: every
+optimisation knob (wire codec, window batching, skip-ahead, fork start
+method) must leave same-seed run digests bit-identical to the legacy
+per-message/spawn protocol — only wall-clock and round-trip counts may
+change.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.bench.scale import ScaleSpec
+from repro.bench.shardspeed import (
+    LEGACY_KNOBS,
+    run_sharded_with,
+    sparse_spec,
+)
+from repro.errors import KernelError, NetworkError
+from repro.kernel.config import (
+    ClusterConfig,
+    shard_bounds,
+    shard_owner_map,
+)
+from repro.transport.sharded import ShardContext, run_sharded
+
+FORK_AVAILABLE = "fork" in multiprocessing.get_all_start_methods()
+
+#: small enough to keep each multi-process run under a second
+SMALL = ScaleSpec(n_nodes=8, shard_count=2, posts_per_node=15)
+
+
+def dying_scenario(ctx):
+    """Shard 1's worker dies silently mid-setup (teardown diagnostics)."""
+    if ctx.shard_index == 1:
+        os._exit(3)
+    return lambda: {"raised": 0, "executed": 0, "per_node": {}, "sha": "0"}
+
+
+# ----------------------------------------------------------------------
+# owner map
+# ----------------------------------------------------------------------
+
+class TestOwnerMap:
+    @pytest.mark.parametrize("n_nodes,shard_count",
+                             [(1, 1), (8, 2), (10, 3), (128, 8)])
+    def test_matches_shard_bounds(self, n_nodes, shard_count):
+        owner = shard_owner_map(n_nodes, shard_count)
+        assert sorted(owner) == list(range(n_nodes))
+        for shard in range(shard_count):
+            lo, hi = shard_bounds(n_nodes, shard_count, shard)
+            for node in range(lo, hi):
+                assert owner[node] == shard
+
+    def test_owner_shard_uses_shared_map(self):
+        ctx = ShardContext(cluster=None, shard_index=0, shard_count=3,
+                           n_nodes=10, local_nodes=range(0, 4))
+        assert ctx.owner_shard(0) == 0
+        assert ctx.owner_shard(9) == 2
+        # the map is built once and reused
+        assert ctx._owner_map is not None
+        assert ctx.owner_shard(5) == shard_owner_map(10, 3)[5]
+
+    def test_owner_shard_rejects_unknown_node(self):
+        ctx = ShardContext(cluster=None, shard_index=0, shard_count=2,
+                           n_nodes=8, local_nodes=range(0, 4))
+        with pytest.raises(NetworkError, match="outside the cluster"):
+            ctx.owner_shard(8)
+
+
+# ----------------------------------------------------------------------
+# config knobs
+# ----------------------------------------------------------------------
+
+class TestConfigKnobs:
+    def test_defaults(self):
+        config = ClusterConfig(n_nodes=2)
+        assert config.wire_codec is True
+        assert config.shard_window_batching is True
+        assert config.shard_quiescent_skip is True
+        assert config.shard_start_method is None
+
+    def test_window_precedence(self):
+        base = dict(n_nodes=4, link_latency=1e-3)
+        assert ClusterConfig(**base).effective_shard_window() == 1e-3
+        assert ClusterConfig(
+            **base, cross_shard_latency=5e-3
+        ).effective_shard_window() == 5e-3
+        assert ClusterConfig(
+            **base, cross_shard_latency=5e-3, shard_window=2e-3
+        ).effective_shard_window() == 2e-3
+
+    def test_cross_shard_latency_below_link_latency_rejected(self):
+        with pytest.raises(KernelError, match="cannot be below"):
+            ClusterConfig(n_nodes=4, link_latency=5e-3,
+                          cross_shard_latency=1e-3)
+
+    def test_cross_shard_latency_must_be_positive(self):
+        with pytest.raises(KernelError, match="positive"):
+            ClusterConfig(n_nodes=4, cross_shard_latency=0.0)
+
+    def test_window_beyond_lookahead_rejected(self):
+        with pytest.raises(KernelError, match="lookahead"):
+            ClusterConfig(n_nodes=4, transport="sharded", shard_count=2,
+                          shard_index=0, link_latency=1e-3,
+                          shard_window=2e-3)
+
+    def test_window_may_stretch_to_declared_latency(self):
+        config = ClusterConfig(n_nodes=4, transport="sharded",
+                               shard_count=2, shard_index=0,
+                               link_latency=1e-3,
+                               cross_shard_latency=4e-3,
+                               shard_window=4e-3)
+        assert config.effective_shard_window() == 4e-3
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(KernelError, match="shard_start_method"):
+            ClusterConfig(n_nodes=4, shard_start_method="thread")
+
+
+# ----------------------------------------------------------------------
+# observational purity of the fast paths (multi-process)
+# ----------------------------------------------------------------------
+
+class TestBarrierDeterminism:
+    def test_defaults_vs_legacy_digest_identical(self):
+        fast = run_sharded_with(SMALL)
+        slow = run_sharded_with(SMALL, **LEGACY_KNOBS)
+        assert fast["digest"] == slow["digest"]
+        assert fast["executed"] == slow["executed"] == SMALL.total_posts
+        # batching/skip change round-trips and encoding, never traffic
+        assert fast["cross_shard"] == slow["cross_shard"]
+
+    def test_codec_vs_pickle_digest_identical(self):
+        with_codec = run_sharded_with(SMALL, wire_codec=True)
+        with_pickle = run_sharded_with(SMALL, wire_codec=False)
+        assert with_codec["digest"] == with_pickle["digest"]
+
+    def test_skip_ahead_elides_quiescent_windows(self):
+        spec = sparse_spec(quick=True)
+        skip = run_sharded_with(spec, shard_quiescent_skip=True)
+        dense = run_sharded_with(spec, shard_quiescent_skip=False)
+        assert skip["digest"] == dense["digest"]
+        assert skip["executed"] == dense["executed"] == spec.total_posts
+        assert skip["windows"] < dense["windows"]
+
+    @pytest.mark.skipif(not FORK_AVAILABLE,
+                        reason="fork start method unavailable")
+    def test_fork_vs_spawn_digest_identical(self):
+        forked = run_sharded_with(SMALL, shard_start_method="fork")
+        spawned = run_sharded_with(SMALL, shard_start_method="spawn")
+        assert forked["digest"] == spawned["digest"]
+        assert forked["windows"] == spawned["windows"]
+
+
+# ----------------------------------------------------------------------
+# worker teardown diagnostics
+# ----------------------------------------------------------------------
+
+class TestWorkerTeardown:
+    @pytest.mark.skipif(not FORK_AVAILABLE,
+                        reason="dying_scenario needs the inherited module")
+    def test_dead_worker_raises_clear_error(self):
+        config = ClusterConfig(n_nodes=4, transport="sharded",
+                               shard_count=2, trace_net=False,
+                               shard_start_method="fork")
+        with pytest.raises(NetworkError,
+                           match=r"shard 1 .*(died|failed|exited)"):
+            run_sharded(config, "tests.test_shardspeed:dying_scenario",
+                        scenario_args={})
