@@ -128,6 +128,26 @@ class DurableChaosTarget(DistObject):
 
 
 @dataclass
+class ChurnSpec:
+    """Scheduled membership churn riding on a chaos run.
+
+    One departure fires every ``period`` (virtual seconds): a seeded
+    coin picks a graceful *leave* (announced through gossip before the
+    fail-stop) or an abrupt *crash* with probability ``leave_fraction``
+    vs the rest; the node rejoins ``down_time`` later with a bumped
+    incarnation. Departures that would push the number of
+    simultaneously-down nodes past ``max_down`` (or hit an
+    already-down node) are skipped, so the cluster never churns itself
+    below quorum-of-targets.
+    """
+
+    period: float = 0.4
+    down_time: float = 0.5
+    leave_fraction: float = 0.5
+    max_down: int = 4
+
+
+@dataclass
 class ChaosSpec:
     """One seeded chaos scenario."""
 
@@ -185,6 +205,15 @@ class ChaosSpec:
     admission_low: int | None = None
     overload_policy: str = "drop"
     flow_credits: int | None = None
+    #: SWIM gossip membership knobs (E16); all-defaults = membership off
+    swim_interval: float | None = None
+    swim_ping_timeout: float | None = None
+    swim_suspect_timeout: float | None = None
+    swim_piggyback: bool = True
+    #: scheduled join/leave/crash/recover churn (None = no churn; the
+    #: schedule is drawn from the same seeded stream, and only when set,
+    #: so churn-off digests are unchanged)
+    churn: ChurnSpec | None = None
 
     @property
     def effective_post_interval(self) -> float:
@@ -230,6 +259,11 @@ class ChaosReport:
     #: restored_objects, pending_redelivery) — the raw material for the
     #: durability bench; derived from state already hashed by ``digest``
     recoveries: list[dict[str, Any]] = field(default_factory=list)
+    #: (time, node, "leave"|"crash") per churn departure; the departures
+    #: themselves are also logged in ``crashes`` (hashed by ``digest``)
+    churn_events: list[tuple[float, int, str]] = field(default_factory=list)
+    #: cluster-wide membership counters (empty when SWIM is off)
+    membership: dict[str, int] = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
 
     @property
@@ -344,6 +378,10 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
         admission_low=spec.admission_low,
         overload_policy=spec.overload_policy,
         flow_credits=spec.flow_credits,
+        swim_interval=spec.swim_interval,
+        swim_ping_timeout=spec.swim_ping_timeout,
+        swim_suspect_timeout=spec.swim_suspect_timeout,
+        swim_piggyback=spec.swim_piggyback,
         rpc_default_timeout=0.5, trace_net=False))
     cluster.register_event(CHAOS_EVENT)
     sim, faults = cluster.sim, cluster.fabric.faults
@@ -459,6 +497,37 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
             sim.call_at(t0 + t, crash_and_recover, rng.choice(target_nodes))
             t += spec.crash_period
 
+    # Membership churn: scheduled departures (graceful leave or abrupt
+    # crash) with rejoin after down_time. The schedule is drawn from the
+    # same seeded stream *only when the knob is on*, so churn-off runs
+    # keep their draw sequence (and digests) unchanged. Departures log
+    # into ``crashes`` too: the digest covers them.
+    churn_events: list[tuple[float, int, str]] = []
+
+    def churn_depart(node: int, kind: str) -> None:
+        if cluster.kernels[node].crashed:
+            return
+        down = sum(1 for n in target_nodes if cluster.kernels[n].crashed)
+        if down >= spec.churn.max_down:
+            return
+        at = round(sim.now - t0, 9)
+        crashes.append((at, node))
+        churn_events.append((at, node, kind))
+        if kind == "leave":
+            cluster.leave_node(node)
+        else:
+            cluster.crash_node(node)
+        sim.call_after(spec.churn.down_time, revive, node)
+
+    if spec.churn is not None:
+        t = spec.churn.period
+        while t < spec.active_time:
+            node = rng.choice(target_nodes)
+            kind = ("leave" if rng.random() < spec.churn.leave_fraction
+                    else "crash")
+            sim.call_at(t0 + t, churn_depart, node, kind)
+            t += spec.churn.period
+
     partitions: list[tuple[float, int]] = []
 
     def isolate(node: int) -> None:
@@ -536,7 +605,10 @@ def run_chaos(spec: ChaosSpec) -> ChaosReport:
         durability=durability, recoveries=recoveries,
         quarantined=quarantined, hung_handlers=hung_handlers,
         supervision=cluster.supervision_stats(),
-        handler_fault_counts=dict(fault_counts))
+        handler_fault_counts=dict(fault_counts),
+        churn_events=churn_events,
+        membership=(cluster.membership_stats()
+                    if spec.swim_interval is not None else {}))
     report.violations = _check_invariants(
         spec, executions, notices, probe_executions, len(target_nodes),
         durability, quarantined, hung_handlers)

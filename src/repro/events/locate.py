@@ -83,6 +83,27 @@ class BaseLocator:
 
     # -- helpers ---------------------------------------------------------
 
+    def _membership(self, node: int):
+        """``node``'s gossip membership view, or None when the layer is
+        off (or the origin is an external pseudo-node)."""
+        kernel = self.cluster.kernels.get(node)
+        if kernel is not None and kernel.membership.enabled:
+            return kernel.membership
+        return None
+
+    def _drop_dead(self, from_node: int, nodes: list[int]) -> list[int]:
+        """Filter confirmed-dead nodes out of a candidate list.
+
+        Only *confirmed* deaths are skipped: a suspect may yet refute
+        the suspicion (and may still hold the thread), so it keeps
+        receiving probes — the unreliable-detector safety rule. With
+        membership off this is the identity function.
+        """
+        membership = self._membership(from_node)
+        if membership is None:
+            return nodes
+        return [n for n in nodes if not membership.is_dead(n)]
+
     def _innermost_here(self, node: int, tid: ThreadId) -> bool:
         return self.cluster.kernels[node].thread_table.innermost_here(tid)
 
@@ -124,9 +145,8 @@ class PathLocator(BaseLocator):
         if from_node == to_node:
             self._arrived(to_node, tid, block, state, on_result)
             return
-        state["hops"] += 1
 
-        def hop_lost(message: Message) -> None:
+        def hop_lost(message: Message | None) -> None:
             # The next node in the chain is unreachable (crashed): treat
             # it like a stale pointer and restart from the root. If the
             # thread died with that node the liveness check fails and the
@@ -139,6 +159,13 @@ class PathLocator(BaseLocator):
                 return
             on_result(False, state["hops"])
 
+        membership = self._membership(from_node)
+        if membership is not None and membership.is_dead(to_node):
+            # Confirmed dead by gossip: fail the hop without spending a
+            # message on a node the whole cluster agrees is gone.
+            hop_lost(None)
+            return
+        state["hops"] += 1
         self._transmit(Message(
             src=from_node, dst=to_node, mtype=MSG_PATH_POST, size=128,
             payload={"tid": tid, "block": block, "state": state,
@@ -186,7 +213,8 @@ class BroadcastLocator(BaseLocator):
     def _round(self, tid: ThreadId, block: EventBlock, state: dict,
                on_result: PostResult) -> None:
         from_node = state["from_node"]
-        others = [n for n in self.cluster.kernels if n != from_node]
+        others = self._drop_dead(
+            from_node, [n for n in self.cluster.kernels if n != from_node])
         if self._accept(from_node, tid, block):
             on_result(True, state["hops"])
             return
@@ -266,7 +294,8 @@ class MulticastLocator(BaseLocator):
         if from_node in members and self._accept(from_node, tid, block):
             on_result(True, state["hops"])
             return
-        targets = [n for n in members if n != from_node]
+        targets = self._drop_dead(
+            from_node, [n for n in members if n != from_node])
         if not targets:
             self._retry_or_fail(tid, block, state, on_result)
             return
@@ -366,9 +395,8 @@ class CachedLocator(BaseLocator):
         if from_node == to_node:
             self._arrived(to_node, tid, block, state, on_result)
             return
-        state["hops"] += 1
 
-        def hint_dead(message: Message) -> None:
+        def hint_dead(message: Message | None) -> None:
             # The hinted (or forwarded-to) node is unreachable — most
             # likely crashed. The hint is worse than stale: drop it at
             # the origin and let the base strategy find the thread or
@@ -377,6 +405,13 @@ class CachedLocator(BaseLocator):
                 .location_hints.invalidate(tid)
             self._fallback(tid, block, state, on_result)
 
+        membership = self._membership(from_node)
+        if membership is not None and membership.is_dead(to_node):
+            # Confirmed dead by gossip: skip the doomed direct send and
+            # go straight to the fallback strategy.
+            hint_dead(None)
+            return
+        state["hops"] += 1
         self._transmit(Message(
             src=from_node, dst=to_node, mtype=MSG_CACHED_POST, size=128,
             payload={"tid": tid, "block": block, "state": state,

@@ -95,9 +95,11 @@ class Cluster:
             node.kernel.invoker = self.invoker
             node.kernel.events = self.events
             node.kernel.dsm = self.dsm
-        # Heartbeat failure detectors (inert unless heartbeat_interval
-        # is set; arming happens after wiring so beats can dispatch).
+        # Failure detection (inert unless a knob is set; arming happens
+        # after wiring so beats/pings can dispatch). SWIM membership
+        # subsumes the heartbeat detector when both are enabled.
         for node in self.nodes:
+            node.kernel.membership.start()
             node.kernel.failure.start()
         # Bring the medium up last: endpoints are all registered by now.
         # A no-op for the in-process simulator; binds listening sockets
@@ -137,6 +139,25 @@ class Cluster:
         if kernel is None:
             raise KernelError(f"no node {node} in this cluster")
         kernel.recover()
+
+    def leave_node(self, node: int) -> None:
+        """Graceful departure: announce death through gossip membership
+        (a no-op without ``swim_interval``), then fail-stop. Views
+        converge immediately instead of waiting out a suspicion cycle;
+        :meth:`recover_node` later rejoins with a bumped incarnation."""
+        kernel = self.kernels.get(node)
+        if kernel is None:
+            raise KernelError(f"no node {node} in this cluster")
+        kernel.membership.leave()
+        kernel.crash()
+
+    def membership_stats(self) -> dict[str, int]:
+        """Cluster-wide sums of the per-node SWIM membership counters."""
+        totals: dict[str, int] = {}
+        for kernel in self.kernels.values():
+            for key, value in kernel.membership.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def reliability_stats(self) -> dict[str, int]:
         """Cluster-wide sums of the per-node reliable-channel counters."""
@@ -203,6 +224,10 @@ class Cluster:
         for kernel in self.kernels.values():
             for key, value in kernel.failure.stats().items():
                 totals[key] = totals.get(key, 0) + value
+            if kernel.membership.enabled:
+                for key, value in kernel.membership.stats().items():
+                    key = f"membership_{key}"
+                    totals[key] = totals.get(key, 0) + value
             for key, value in kernel.dead_letters.stats().items():
                 key = f"dead_letters_{key}"
                 totals[key] = totals.get(key, 0) + value

@@ -240,11 +240,38 @@ class ClusterConfig:
     #: moved to the node's dead-letter queue. None = never quarantine.
     poison_threshold: int | None = None
     #: Failure-detector heartbeat period (virtual seconds); None
-    #: disables the detector (no heartbeat traffic at all).
+    #: disables the detector (no heartbeat traffic at all). Subsumed by
+    #: SWIM when ``swim_interval`` is set: the heartbeat machinery stays
+    #: inert and :class:`~repro.kernel.failure.FailureDetector` becomes
+    #: a thin adapter over gossip suspicion.
     heartbeat_interval: float | None = None
     #: Missed heartbeats before a peer is suspected; suspicion fails
     #: buddy posts fast instead of waiting out retransmission give-up.
     suspect_after: int = 3
+    #: SWIM gossip membership (:mod:`repro.kernel.membership`; all
+    #: default off: no timers, no messages, no state transitions, and
+    #: bit-identical same-seed digests).
+    #: Protocol period (virtual seconds): once per period each node
+    #: pings one member chosen by randomized round-robin — O(1) failure
+    #: detection load per node per period regardless of cluster size.
+    #: None disables membership entirely.
+    swim_interval: float | None = None
+    #: Direct-ack wait before falling back to indirect ping-req probes;
+    #: None = ``swim_interval / 3``.
+    swim_ping_timeout: float | None = None
+    #: How long a suspected member may stay silent before it is
+    #: confirmed dead (the refutation window); None =
+    #: ``3 * swim_interval``.
+    swim_suspect_timeout: float | None = None
+    #: Proxies asked to ping an unresponsive target on the prober's
+    #: behalf (the SWIM k parameter). 0 = direct pings only.
+    swim_indirect_probes: int = 3
+    #: Maximum membership updates piggybacked on one outbound message.
+    swim_gossip_max: int = 6
+    #: Disseminate join/alive/suspect/confirm updates by piggybacking
+    #: them on *existing* outbound traffic (the ``Message.gossip``
+    #: field) in addition to SWIM's own probes.
+    swim_piggyback: bool = True
     #: Overload control (all default off: zero behaviour change and
     #: bit-identical same-seed runs unless a knob is enabled).
     #: Credit-based flow control: per-peer in-flight window on the
@@ -372,6 +399,18 @@ class ClusterConfig:
             return self.cross_shard_latency
         return self.link_latency
 
+    def effective_swim_ping_timeout(self) -> float:
+        """Direct-ack wait before indirect probes (requires SWIM on)."""
+        if self.swim_ping_timeout is not None:
+            return self.swim_ping_timeout
+        return self.swim_interval / 3.0
+
+    def effective_swim_suspect_timeout(self) -> float:
+        """Refutation window before a suspect is confirmed dead."""
+        if self.swim_suspect_timeout is not None:
+            return self.swim_suspect_timeout
+        return 3.0 * self.swim_interval
+
     def effective_cross_shard_latency(self) -> float:
         """The lookahead bound: declared cross-shard minimum latency,
         or the fixed model's ``link_latency``."""
@@ -474,10 +513,15 @@ class ClusterConfig:
             raise KernelError("dedup_window must be >= 1")
         for name in ("rpc_default_timeout", "post_deadline",
                      "handler_deadline", "heartbeat_interval",
-                     "breaker_reset"):
+                     "breaker_reset", "swim_interval", "swim_ping_timeout",
+                     "swim_suspect_timeout"):
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise KernelError(f"{name} must be positive or None")
+        if self.swim_indirect_probes < 0:
+            raise KernelError("swim_indirect_probes must be >= 0")
+        if self.swim_gossip_max < 1:
+            raise KernelError("swim_gossip_max must be >= 1")
         for name in ("breaker_threshold", "poison_threshold"):
             value = getattr(self, name)
             if value is not None and value < 1:

@@ -15,6 +15,13 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.errors import KernelError, NodeCrashedError
 from repro.events.supervise import DeadLetterQueue
 from repro.kernel.failure import MSG_HEARTBEAT, FailureDetector
+from repro.kernel.membership import (
+    MSG_SWIM_ACK,
+    MSG_SWIM_GOSSIP,
+    MSG_SWIM_PING,
+    MSG_SWIM_PING_REQ,
+    Membership,
+)
 from repro.kernel.rpc import MSG_REPLY, MSG_REQUEST, RpcEngine
 from repro.kernel.tcb import LocationHintTable, ThreadTable
 from repro.kernel.timers import TimerService
@@ -55,7 +62,11 @@ class Kernel:
         # The journal lives in the *cluster* store: it is the simulated
         # durable medium, so crash() must not be able to touch it.
         self.store = NodeStore(self, cluster.store.journal(node_id))
+        self.membership = Membership(self)
         self.failure = FailureDetector(self)
+        # A membership view change invalidates the heartbeat detector's
+        # cached peer list (inert unless both layers are enabled).
+        self.membership.add_view_listener(self.failure.invalidate_peers)
         self.dead_letters = DeadLetterQueue(self)
         # Attached by the cluster builder:
         self.objects: Any = None   # repro.objects.manager.ObjectManager
@@ -69,6 +80,10 @@ class Kernel:
             MSG_REL_ACK: self.reliable.on_ack,
             MSG_STORE_ACK: self.store.on_store_ack,
             MSG_HEARTBEAT: self.failure.on_beat,
+            MSG_SWIM_PING: self.membership.on_ping,
+            MSG_SWIM_ACK: self.membership.on_ack,
+            MSG_SWIM_PING_REQ: self.membership.on_ping_req,
+            MSG_SWIM_GOSSIP: self.membership.on_gossip_msg,
         }
         cluster.fabric.attach(node_id, self.deliver)
 
@@ -85,6 +100,11 @@ class Kernel:
 
     def deliver(self, message: Message) -> None:
         """Fabric delivery callback: dispatch by message type."""
+        if message.gossip is not None:
+            # Piggybacked membership updates: merge before dispatch (and
+            # before rel dedup — a duplicate envelope's gossip is fresh
+            # information, and incarnation ordering makes it idempotent).
+            self.membership.on_gossip(message.gossip, message.src)
         if message.ack is not None:
             # Piggybacked cumulative ack: settle it before dispatch so a
             # handler's own sends see up-to-date pending state.
@@ -178,6 +198,7 @@ class Kernel:
         self.reliable.reset()
         self.objects.on_crash()
         self.store.on_crash()
+        self.membership.on_crash()
         self.failure.on_crash()
         self.dead_letters.on_crash()
         self.rpc.fail_all(error)
@@ -206,6 +227,7 @@ class Kernel:
                              replayed=replayed)
         if self.config.durable_delivery:
             self.store.schedule_redelivery(replay_time)
+        self.membership.rejoin()
         self.failure.start()
 
 

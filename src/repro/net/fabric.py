@@ -76,6 +76,23 @@ class Fabric:
         transport.set_delivery_hook(self._deliver)
         # per-fabric message ids keep traces deterministic across runs
         self._msg_ids = itertools.count(1)
+        # per-source SWIM piggyback hooks (node id -> hook(dst) -> tuple
+        # of updates or None); empty unless gossip membership is enabled,
+        # so knobs-off runs never take the extra branch work.
+        self._gossip_hooks: dict[int, Callable[[int], tuple | None]] = {}
+
+    def set_gossip_hook(self, node_id: int,
+                        hook: Callable[[int], tuple | None] | None) -> None:
+        """Install (or clear, with ``None``) a node's piggyback hook.
+
+        The hook is consulted once per outbound envelope from
+        ``node_id`` (including each fan-out copy) and may return a tuple
+        of membership updates to ride in :attr:`Message.gossip`.
+        """
+        if hook is None:
+            self._gossip_hooks.pop(node_id, None)
+        else:
+            self._gossip_hooks[node_id] = hook
 
     # ------------------------------------------------------------------
     # topology (delegated to the transport's endpoint registry)
@@ -150,6 +167,17 @@ class Fabric:
 
     def _transmit(self, message: Message, dst: int) -> None:
         message.msg_id = next(self._msg_ids)
+        if self._gossip_hooks and message.gossip is None:
+            hook = self._gossip_hooks.get(message.src)
+            if hook is not None:
+                updates = hook(dst)
+                if updates:
+                    # Ride membership updates on traffic that is going
+                    # out anyway; retransmissions keep their original
+                    # (possibly stale) gossip, which incarnation
+                    # ordering makes harmless.
+                    message.gossip = updates
+                    message.size += 6 * len(updates)
         self.stats.record_send(message.src, message.mtype, message.size)
         if self.tracer is not None:
             self.tracer.emit("net", "send", src=message.src, dst=dst,
@@ -180,7 +208,7 @@ class Fabric:
         clone = Message(src=message.src, dst=message.dst,
                         mtype=message.mtype, payload=payload,
                         size=message.size, rel=message.rel,
-                        ack=message.ack)
+                        ack=message.ack, gossip=message.gossip)
         clone.msg_id = next(self._msg_ids)
         return clone
 

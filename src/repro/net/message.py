@@ -54,6 +54,15 @@ class Message:
         ``dst``, saving the dedicated ``rel.ack`` envelope. Cumulative
         acks are monotonic and idempotent, so a stale value riding a
         retransmitted envelope is harmless.
+    gossip:
+        Piggybacked SWIM membership updates, or ``None`` (always
+        ``None`` unless ``ClusterConfig.swim_interval`` is set). A
+        tuple of ``(node, state, incarnation)`` triples stamped by the
+        fabric's per-source gossip hook on the way out
+        (:meth:`~repro.net.fabric.Fabric.set_gossip_hook`) and applied
+        by the receiving kernel before dispatch. Updates are ordered by
+        incarnation number, so duplicates and stale values riding
+        retransmitted envelopes are harmless.
     """
 
     src: int
@@ -64,6 +73,7 @@ class Message:
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
     rel: tuple[int, int] | None = None
     ack: int | None = None
+    gossip: tuple | None = None
 
     def reply_envelope(self, mtype: str, payload: Any = None,
                        size: int = 64) -> "Message":

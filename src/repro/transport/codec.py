@@ -25,7 +25,7 @@ Wire format, all integers as zigzag varints and floats as IEEE-754
 doubles (bit-exact — virtual timestamps must survive the hop)::
 
     message   := VERSION flags src dst mtype payload size msg_id
-                 [rel_node rel_seq] [ack]
+                 [rel_node rel_seq] [ack] [gossip]
     batch     := VERSION count { deliver_at seq dst message }*
     value     := tag <tag-specific body>
 
@@ -125,6 +125,7 @@ MTYPE_REGISTRY = (
     "locate.mcast", "locate.mcast-reply", "locate.cached",
     "thread.complete", "thread.unwind", "fd.beat",
     "dsm.installed", "dsm.inval", "dsm.page", "dsm.yield",
+    "swim.ping", "swim.ack", "swim.ping-req", "swim.gossip",
 )
 _MTYPE_TAG = {name: i + 1 for i, name in enumerate(MTYPE_REGISTRY)}
 
@@ -329,6 +330,9 @@ def _read_shape(tag: int, buf: bytes, pos: int) -> tuple[Any, int]:
 _F_DST_STR = 1
 _F_REL = 2
 _F_ACK = 4
+# Piggybacked SWIM gossip (PR 10). Optional-field flags keep knobs-off
+# frames byte-identical to earlier builds, so VERSION stays 1.
+_F_GOSSIP = 8
 
 
 def _append_message(out: bytearray, message: Any) -> None:
@@ -339,6 +343,8 @@ def _append_message(out: bytearray, message: Any) -> None:
         flags |= _F_REL
     if message.ack is not None:
         flags |= _F_ACK
+    if message.gossip is not None:
+        flags |= _F_GOSSIP
     out.append(flags)
     _append_varint(out, message.src)
     if flags & _F_DST_STR:
@@ -357,6 +363,8 @@ def _append_message(out: bytearray, message: Any) -> None:
         _append_varint(out, message.rel[1])
     if flags & _F_ACK:
         _append_varint(out, message.ack)
+    if flags & _F_GOSSIP:
+        _append_value(out, message.gossip)
 
 
 def _read_message(buf: bytes, pos: int) -> tuple[Any, int]:
@@ -382,13 +390,15 @@ def _read_message(buf: bytes, pos: int) -> tuple[Any, int]:
     payload, pos = _read_value(buf, pos)
     size, pos = _read_varint(buf, pos)
     msg_id, pos = _read_varint(buf, pos)
-    rel = ack = None
+    rel = ack = gossip = None
     if flags & _F_REL:
         rel_node, pos = _read_varint(buf, pos)
         rel_seq, pos = _read_varint(buf, pos)
         rel = (rel_node, rel_seq)
     if flags & _F_ACK:
         ack, pos = _read_varint(buf, pos)
+    if flags & _F_GOSSIP:
+        gossip, pos = _read_value(buf, pos)
     message = Message.__new__(Message)
     message.src = src
     message.dst = dst
@@ -398,6 +408,7 @@ def _read_message(buf: bytes, pos: int) -> tuple[Any, int]:
     message.msg_id = msg_id
     message.rel = rel
     message.ack = ack
+    message.gossip = gossip
     return message, pos
 
 
